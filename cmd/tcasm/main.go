@@ -1,0 +1,48 @@
+// Command tcasm assembles JAM assembly into a relocatable Two-Chains
+// object, the role GNU as plays in the paper's toolchain.
+//
+// Usage:
+//
+//	tcasm -o out.tco input.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twochains/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file (default input with .tco)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tcasm [-o out.tco] input.s")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = in + ".tco"
+	}
+	if err := os.WriteFile(path, obj.Encode(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: text=%dB rodata=%dB data=%dB bss=%dB symbols=%d relocs=%d -> %s\n",
+		in, len(obj.Text), len(obj.Rodata), len(obj.Data), obj.BssSize,
+		len(obj.Symbols), len(obj.Relocs), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcasm:", err)
+	os.Exit(1)
+}

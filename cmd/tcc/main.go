@@ -1,0 +1,58 @@
+// Command tcc is the AMC compiler driver: it compiles AMC (C subset)
+// active-message sources to JAM assembly or to relocatable objects — the
+// role GCC plays in the paper's build flow.
+//
+// Usage:
+//
+//	tcc -S input.amc            # emit assembly to stdout
+//	tcc -o out.tco input.amc    # compile to a relocatable object
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twochains/internal/amcc"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit JAM assembly instead of an object")
+	out := flag.String("o", "", "output object file (default input with .tco)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tcc [-S] [-o out.tco] input.amc")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	if *emitAsm {
+		text, err := amcc.CompileToAsm(in, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	obj, err := amcc.Compile(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = in + ".tco"
+	}
+	if err := os.WriteFile(path, obj.Encode(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: text=%dB rodata=%dB data=%dB bss=%dB -> %s\n",
+		in, len(obj.Text), len(obj.Rodata), len(obj.Data), obj.BssSize, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcc:", err)
+	os.Exit(1)
+}

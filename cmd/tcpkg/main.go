@@ -1,0 +1,161 @@
+// Command tcpkg is the Two-Chains package build tool (paper §IV): it takes
+// a source directory of canonically named elements — jam_NAME.amc files
+// (mobile active message functions) and ried_NAME.rdc files (relocatable
+// interface distributions) — and produces an installable package file
+// containing the transformed jams, the linked rieds, and the Local
+// Function shared library.
+//
+// Usage:
+//
+//	tcpkg build -name mypkg -src ./src/mypkg -o mypkg.tcpkg
+//	tcpkg inspect mypkg.tcpkg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twochains/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "gensrc":
+		gensrc(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tcpkg build -name NAME -src DIR [-o FILE]
+  tcpkg inspect FILE
+  tcpkg gensrc -dir DIR    (write the canonical tcbench sources)`)
+	os.Exit(2)
+}
+
+// gensrc writes the benchmark package sources to a directory, so the full
+// source -> tcpkg -> install flow can be exercised from the shell.
+func gensrc(args []string) {
+	fs := flag.NewFlagSet("gensrc", flag.ExitOnError)
+	dir := fs.String("dir", "", "destination directory")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *dir == "" {
+		usage()
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for name, src := range core.BenchPackageSources() {
+		if err := os.WriteFile(filepath.Join(*dir, name), []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", filepath.Join(*dir, name))
+	}
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	name := fs.String("name", "", "package name")
+	src := fs.String("src", "", "source directory of jam_*.amc and ried_*.rdc files")
+	out := fs.String("o", "", "output file (default NAME.tcpkg)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *name == "" || *src == "" {
+		usage()
+	}
+	entries, err := os.ReadDir(*src)
+	if err != nil {
+		fatal(err)
+	}
+	sources := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fn := e.Name()
+		ok := false
+		for _, suffix := range []string{".amc", ".rdc", ".ams", ".rds"} {
+			if strings.HasSuffix(fn, suffix) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(*src, fn))
+		if err != nil {
+			fatal(err)
+		}
+		sources[fn] = string(data)
+	}
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("no element sources (jam_*.amc / ried_*.rdc) in %s", *src))
+	}
+	pkg, err := core.BuildPackage(*name, sources)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".tcpkg"
+	}
+	if err := os.WriteFile(path, pkg.Encode(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built package %s -> %s\n", *name, path)
+	describe(pkg)
+}
+
+func inspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	pkg, err := core.DecodePackage(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("package %s\n", pkg.Name)
+	describe(pkg)
+}
+
+func describe(pkg *core.Package) {
+	for _, e := range pkg.Elements {
+		switch e.Kind {
+		case core.ElemJam:
+			fmt.Printf("  jam  %-24s id=%d shipped=%dB got=%d externs=%v\n",
+				e.Name, e.ID, e.Jam.ShippedSize(), len(e.Jam.Got), e.Jam.Externs())
+		case core.ElemRied:
+			fmt.Printf("  ried %-24s id=%d image=%dB exports=%d externs=%v\n",
+				e.Name, e.ID, e.Ried.TotalSize, len(e.Ried.Exports), e.Ried.Externs())
+		}
+	}
+	if pkg.LocalLib != nil {
+		fmt.Printf("  local function library: %dB text, %d exports\n",
+			pkg.LocalLib.TextLen, len(pkg.LocalLib.Exports))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpkg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command tcrun loads a built package onto a single-node simulated machine
+// and invokes one of its jams directly — the fastest way to smoke-test a
+// package from the shell before deploying it to a cluster.
+//
+// Usage:
+//
+//	tcrun -pkg tcbench.tcpkg -jam jam_sssum -payload 64
+//	tcrun -pkg tcbench.tcpkg -jam jam_iput -arg0 42 -payload 256 -injected
+//
+// With -injected the jam takes the full injection path: packed into a
+// frame, GOT table bound by the sender, delivered through the simulated
+// fabric into a reactive mailbox, and executed from the arrived bytes.
+// Without it, the Local Function library copy is invoked by ID.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+func main() {
+	var (
+		pkgFile  = flag.String("pkg", "", "package file (from tcpkg build)")
+		jam      = flag.String("jam", "", "jam element to run")
+		arg0     = flag.Uint64("arg0", 1, "first argument word")
+		arg1     = flag.Uint64("arg1", 0, "second argument word")
+		payload  = flag.Int("payload", 64, "payload size in bytes (patterned)")
+		injected = flag.Bool("injected", true, "use Injected Function (false: Local Function)")
+	)
+	flag.Parse()
+	if *pkgFile == "" || *jam == "" {
+		fmt.Fprintln(os.Stderr, "usage: tcrun -pkg FILE -jam NAME [-arg0 N] [-arg1 N] [-payload N] [-injected=false]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*pkgFile)
+	if err != nil {
+		fatal(err)
+	}
+	pkg, err := core.DecodePackage(data)
+	if err != nil {
+		fatal(err)
+	}
+	if _, ok := pkg.Element(*jam); !ok {
+		fatal(fmt.Errorf("no element %q in package %s", *jam, pkg.Name))
+	}
+
+	cl := core.NewCluster(core.DefaultClusterConfig())
+	client, err := cl.AddNode("client", core.DefaultNodeConfig())
+	if err != nil {
+		fatal(err)
+	}
+	server, err := cl.AddNode("server", core.DefaultNodeConfig())
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range []*core.Node{client, server} {
+		if _, err := n.InstallPackage(pkg); err != nil {
+			fatal(err)
+		}
+	}
+	usr := make([]byte, *payload)
+	for i := range usr {
+		usr[i] = byte(i)
+	}
+	frame := 64
+	for _, e := range pkg.Elements {
+		if e.Kind == core.ElemJam {
+			need := mailbox.HeaderSize + mailbox.PreSize + e.Jam.ShippedSize() +
+				mailbox.ArgsSize + len(usr) + mailbox.SigSize
+			need = (need + 63) / 64 * 64
+			if need > frame {
+				frame = need
+			}
+		}
+	}
+	geom := mailbox.Geometry{Banks: 1, Slots: 2, FrameSize: frame}
+	if err := server.EnableMailbox(mailbox.DefaultReceiverConfig(geom)); err != nil {
+		fatal(err)
+	}
+	ch, err := core.Connect(client, server, core.ChannelOptions{})
+	if err != nil {
+		fatal(err)
+	}
+
+	server.OnExecuted = func(ret uint64, cost sim.Duration, err error) {
+		if err != nil {
+			fmt.Printf("execution FAULTED: %v\n", err)
+			return
+		}
+		fmt.Printf("ret = %d (0x%x), simulated execution cost %v\n", ret, ret, cost)
+	}
+	args := [2]uint64{*arg0, *arg1}
+	if *injected {
+		err = ch.Inject(pkg.Name, *jam, args, usr, nil)
+	} else {
+		err = ch.CallLocal(pkg.Name, *jam, args, usr, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cl.Run()
+
+	mode := "Injected Function"
+	if !*injected {
+		mode = "Local Function"
+	}
+	fmt.Printf("%s: %s(%d, %d) with %dB payload, frame %dB, end-to-end %v\n",
+		mode, *jam, *arg0, *arg1, *payload, frame, sim.Duration(cl.Eng.Now()))
+	if out := server.Stdout.String(); out != "" {
+		fmt.Printf("server stdout:\n%s", out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcrun:", err)
+	os.Exit(1)
+}

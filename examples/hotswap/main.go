@@ -1,0 +1,143 @@
+// Hotswap: remote dynamic linking as a live-update mechanism (paper §III).
+// Loading a new ried version on a running process rebinds a fixed symbolic
+// name, altering the behaviour of every subsequent active message — with
+// no restart and no re-linking of anything already loaded.
+//
+// A validation service first enforces a v1 policy (reject payloads over a
+// small limit); operations then pushes a v2 policy ried that also enforces
+// a parity rule. In-flight protocol, message format, and the validator jam
+// are untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+const jamValidate = `
+; jam_validate: run the currently bound policy over the request payload.
+.extern tc_policy
+.global jam_validate
+jam_validate:
+    addi sp, sp, -16
+    st   lr, [sp+0]
+    mov  r0, r1          ; payload VA
+    mov  r1, r2          ; payload length
+    callg tc_policy      ; 1 = accept, 0 = reject
+    ld   lr, [sp+0]
+    addi sp, sp, 16
+    ret
+`
+
+const riedPolicyV1 = `
+; policy v1: accept any request up to 64 bytes.
+.text
+.global tc_policy
+tc_policy:
+    movi r2, 64
+    movi r3, 1
+    bgeu r2, r1, ok1
+    movi r3, 0
+ok1:
+    mov  r0, r3
+    ret
+`
+
+const riedPolicyV2 = `
+; policy v2: size limit AND even length required.
+.text
+.global tc_policy
+tc_policy:
+    movi r2, 64
+    movi r3, 0
+    bltu r2, r1, done2   ; too large
+    andi r4, r1, 1
+    movi r5, 0
+    bne  r4, r5, done2   ; odd length
+    movi r3, 1
+done2:
+    mov  r0, r3
+    ret
+`
+
+func main() {
+	pkgV1, err := core.BuildPackage("validate", map[string]string{
+		"jam_validate.ams": jamValidate,
+		"ried_policy.rds":  riedPolicyV1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2pkg, err := core.BuildPackage("policy2", map[string]string{
+		"ried_policy.rds": riedPolicyV2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	riedV2, _ := v2pkg.Element("ried_policy")
+
+	cl := core.NewCluster(core.DefaultClusterConfig())
+	client, err := cl.AddNode("client", core.DefaultNodeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	validator, err := cl.AddNode("validator", core.DefaultNodeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []*core.Node{client, validator} {
+		if _, err := n.InstallPackage(pkgV1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	geom := mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: 512}
+	if err := validator.EnableMailbox(mailbox.DefaultReceiverConfig(geom)); err != nil {
+		log.Fatal(err)
+	}
+	ch, err := core.Connect(client, validator, core.ChannelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	validator.OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REJECT"
+		if ret == 1 {
+			verdict = "accept"
+		}
+		fmt.Printf("  validator: %s\n", verdict)
+	}
+	check := func(n int) {
+		if err := ch.Inject("validate", "jam_validate", [2]uint64{}, make([]byte, n), nil); err != nil {
+			log.Fatal(err)
+		}
+		cl.Run()
+	}
+
+	fmt.Println("policy v1 (size <= 64):")
+	fmt.Print("  33-byte request -> ")
+	check(33)
+	fmt.Print("  80-byte request -> ")
+	check(80)
+
+	// Live update: drive the v2 ried over and load it with Replace
+	// semantics; the namespace exchange refreshes the client's view.
+	if _, err := validator.InstallRied(riedV2.Ried, true); err != nil {
+		log.Fatal(err)
+	}
+	ch.RefreshNames()
+	fmt.Println("hot-swapped policy ried to v2 (size <= 64 AND even length) — no restart:")
+
+	fmt.Print("  33-byte request -> ")
+	check(33)
+	fmt.Print("  34-byte request -> ")
+	check(34)
+	fmt.Print("  80-byte request -> ")
+	check(80)
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+// ChannelOptions tune a sender-side connection.
+type ChannelOptions struct {
+	Sender mailbox.SenderConfig
+	// AutoSwitchAfter, when positive, enables the paper's future-work
+	// optimization (§VIII): after an element has been injected that many
+	// times, the channel detects the reoccurring function and switches to
+	// Local Function invocation, shrinking the message.
+	AutoSwitchAfter int
+}
+
+// Channel is one node's view of sending active messages to a peer. It owns
+// the mailbox sender, the namespace mirror from the exchange step, and the
+// per-element prepared jam cache.
+type Channel struct {
+	Src, Dst *Node
+	Sender   *mailbox.Sender
+	Opts     ChannelOptions
+
+	// remoteNames is the snapshot of the receiver's namespace obtained in
+	// the out-of-band exchange; the sender binds travelling GOT entries
+	// from it (paper §III-B: "set by the sender after an exchange with
+	// the receiver").
+	remoteNames map[string]uint64
+
+	prepared  map[string]*preparedJam
+	injectCnt map[string]int
+}
+
+// preparedJam is a jam with its extern GOT entries bound to receiver VAs.
+type preparedJam struct {
+	image   []byte
+	gotLen  int
+	textLen int
+	entry   uint32
+	patches []mailbox.GotPatch
+	pkgID   uint8
+	elemID  uint8
+}
+
+// Connect opens a channel from src to dst. dst must have its mailbox
+// enabled. The connection performs the namespace exchange and wires the
+// credit return path when credits are on.
+func Connect(src, dst *Node, opts ChannelOptions) (*Channel, error) {
+	if dst.Receiver == nil {
+		return nil, fmt.Errorf("core: connect %s->%s: destination has no mailbox", src.Name, dst.Name)
+	}
+	if opts.Sender.Geometry.FrameSize == 0 {
+		opts.Sender.Geometry = dst.Receiver.Cfg.Geometry
+	}
+	if opts.Sender.Geometry != dst.Receiver.Cfg.Geometry {
+		return nil, fmt.Errorf("core: connect %s->%s: geometry mismatch", src.Name, dst.Name)
+	}
+	opts.Sender.Credits = dst.Receiver.Cfg.Credits
+
+	ep := src.Worker.Connect(dst.Worker)
+	snd, err := mailbox.NewSender(src.Worker, ep, opts.Sender,
+		dst.Receiver.BaseVA, dst.Receiver.Mem.Key, src.Counter)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		Src:       src,
+		Dst:       dst,
+		Sender:    snd,
+		Opts:      opts,
+		prepared:  map[string]*preparedJam{},
+		injectCnt: map[string]int{},
+	}
+	if opts.Sender.Credits {
+		dst.Receiver.SetCreditReturn(dst.Worker.Connect(src.Worker), snd.CreditVA, snd.CreditMem.Key)
+	}
+	ch.RefreshNames()
+	return ch, nil
+}
+
+// RefreshNames re-runs the namespace exchange, picking up symbols from
+// rieds loaded on the receiver since the last exchange.
+func (ch *Channel) RefreshNames() {
+	ch.remoteNames = ch.Dst.NS.Snapshot()
+	// Bindings may have moved: drop prepared images.
+	ch.prepared = map[string]*preparedJam{}
+}
+
+// prepareJam binds a jam element's extern GOT entries against the remote
+// namespace and caches the result.
+func (ch *Channel) prepareJam(pkgName, elemName string) (*preparedJam, error) {
+	key := pkgName + "/" + elemName
+	if pj, ok := ch.prepared[key]; ok {
+		return pj, nil
+	}
+	inst, ok := ch.Src.Package(pkgName)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: package %s not installed on sender", ch.Src.Name, pkgName)
+	}
+	elem, ok := inst.Pkg.Element(elemName)
+	if !ok || elem.Kind != ElemJam {
+		return nil, fmt.Errorf("core: %s: no jam %q in package %s", ch.Src.Name, elemName, pkgName)
+	}
+	j := elem.Jam
+
+	pj := &preparedJam{
+		gotLen:  j.GotTableLen(),
+		textLen: j.TextLen,
+		entry:   j.Entry,
+		pkgID:   inst.ID,
+		elemID:  elem.ID,
+	}
+	// Image: [GOT table][gp slot placeholder][body].
+	pj.image = make([]byte, j.ShippedSize())
+	copy(pj.image[pj.gotLen+8:], j.Body)
+	for i, g := range j.Got {
+		if g.Local {
+			pj.patches = append(pj.patches, mailbox.GotPatch{Slot: i, BodyOff: g.Off})
+			continue
+		}
+		va, ok := ch.remoteNames[g.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: %s->%s: jam %s needs symbol %q, absent from receiver namespace (load the ried first)",
+				ch.Src.Name, ch.Dst.Name, elemName, g.Name)
+		}
+		putU64(pj.image[i*8:], va)
+	}
+	ch.prepared[key] = pj
+	return pj, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Result reports the outcome of one active message send.
+type Result struct {
+	Seq       uint32
+	Err       error
+	Delivered sim.Time
+	// Injected records which invocation method was actually used (the
+	// auto-switch optimization may downgrade an inject to a local call).
+	Injected bool
+}
+
+// Inject sends the named jam as an Injected Function active message: the
+// function's code travels in the frame and executes on arrival. args are
+// the three header argument words; usr is the data payload.
+func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
+	key := pkgName + "/" + elemName
+	if ch.Opts.AutoSwitchAfter > 0 {
+		ch.injectCnt[key]++
+		if ch.injectCnt[key] > ch.Opts.AutoSwitchAfter {
+			// Reoccurring function: switch to local invocation if the
+			// receiver has the package installed.
+			if _, ok := ch.Dst.Package(pkgName); ok {
+				return ch.CallLocal(pkgName, elemName, args, usr, done)
+			}
+		}
+	}
+	pj, err := ch.prepareJam(pkgName, elemName)
+	if err != nil {
+		return err
+	}
+	msg := &mailbox.Message{
+		Kind:        mailbox.KindInjected,
+		PkgID:       pj.pkgID,
+		ElemID:      pj.elemID,
+		JamImage:    pj.image,
+		GotTableLen: pj.gotLen,
+		TextLen:     pj.textLen,
+		EntryOff:    pj.entry,
+		Patches:     pj.patches,
+		Args:        args,
+		Usr:         usr,
+	}
+	ch.Sender.Send(msg, wrapDone(done, true))
+	return nil
+}
+
+// CallLocal sends a Local Function active message: only IDs and payload
+// travel; the receiver calls its library copy of the function.
+func (ch *Channel) CallLocal(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
+	// IDs must be the receiver's: packages install in the same order on
+	// every node in our benchmarks, but resolve defensively.
+	inst, ok := ch.Dst.Package(pkgName)
+	if !ok {
+		return fmt.Errorf("core: %s->%s: package %s not installed on receiver",
+			ch.Src.Name, ch.Dst.Name, pkgName)
+	}
+	elem, ok := inst.Pkg.Element(elemName)
+	if !ok || elem.Kind != ElemJam {
+		return fmt.Errorf("core: %s->%s: no jam %q in package %s",
+			ch.Src.Name, ch.Dst.Name, elemName, pkgName)
+	}
+	msg := mailbox.PackLocal(inst.ID, elem.ID, args, usr)
+	ch.Sender.Send(msg, wrapDone(done, false))
+	return nil
+}
+
+// SendData sends a delivery-only frame (the without-execution mode used by
+// the Fig. 5/6 overhead experiments).
+func (ch *Channel) SendData(usr []byte, done func(Result)) {
+	ch.Sender.Send(mailbox.PackData(usr), wrapDone(done, false))
+}
+
+// InjectedWireLen reports the frame size an Inject of the element with a
+// payload of usrLen bytes would occupy; benchmarks use it to configure
+// mailbox geometry.
+func (ch *Channel) InjectedWireLen(pkgName, elemName string, usrLen int) (int, error) {
+	pj, err := ch.prepareJam(pkgName, elemName)
+	if err != nil {
+		return 0, err
+	}
+	m := &mailbox.Message{Kind: mailbox.KindInjected, JamImage: pj.image, Usr: make([]byte, usrLen)}
+	return m.WireLen(), nil
+}
+
+func wrapDone(done func(Result), injected bool) func(mailbox.SendInfo) {
+	if done == nil {
+		return nil
+	}
+	return func(info mailbox.SendInfo) {
+		done(Result{Seq: info.Seq, Err: info.Err, Delivered: info.Delivered, Injected: injected})
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"twochains/internal/cpusim"
+	"twochains/internal/linker"
+	"twochains/internal/mailbox"
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/sim"
+	"twochains/internal/simnet"
+	"twochains/internal/ucx"
+	"twochains/internal/vm"
+)
+
+// ClusterConfig selects fabric-wide behaviour.
+type ClusterConfig struct {
+	// Ordered is the fabric write-order guarantee (paper testbed: true).
+	Ordered bool
+	Seed    uint64
+}
+
+// DefaultClusterConfig matches the paper's testbed.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{Ordered: true, Seed: 0x7c2c2021}
+}
+
+// Cluster is a set of simulated processes on one RDMA fabric sharing a
+// discrete-event clock.
+type Cluster struct {
+	Eng    *sim.Engine
+	Fabric *simnet.Fabric
+	Ctx    *ucx.Context
+	Nodes  []*Node
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	eng := sim.NewEngine()
+	fab := simnet.NewFabric(eng, simnet.Config{Ordered: cfg.Ordered, Seed: cfg.Seed})
+	return &Cluster{Eng: eng, Fabric: fab, Ctx: ucx.NewContext(fab)}
+}
+
+// Run processes events until the cluster is quiescent.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunFor processes events for d of simulated time.
+func (c *Cluster) RunFor(d sim.Duration) { c.Eng.RunFor(d) }
+
+// NodeConfig selects one node's hardware and runtime features.
+type NodeConfig struct {
+	// MemBytes is the address-space capacity (default 64 MB).
+	MemBytes int
+	// Stash enables LLC stashing of inbound network traffic.
+	Stash bool
+	// Prefetch enables the stride prefetcher.
+	Prefetch bool
+	// Timing enables the cache/CPU cost model; functional tests can turn
+	// it off.
+	Timing bool
+	// Seed for this node's stochastic models.
+	Seed uint64
+
+	// Security options (paper §V).
+	// CheckExec makes the VM enforce execute permissions on fetch.
+	CheckExec bool
+	// SecureExec copies injected jam bodies out of the mailbox into a
+	// separate execution area before running them, so mailbox pages need
+	// not be executable.
+	SecureExec bool
+	// ReadOnlyGOT remaps library GOTs read-only after binding.
+	ReadOnlyGOT bool
+}
+
+// DefaultNodeConfig matches the paper's measurement configuration.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		MemBytes: 64 << 20,
+		Stash:    true,
+		Prefetch: true,
+		Timing:   true,
+		Seed:     0x7c2c2021,
+	}
+}
+
+// Node is one simulated process: address space, caches, namespace, VM,
+// worker, and installed packages.
+type Node struct {
+	Name    string
+	Cfg     NodeConfig
+	Cluster *Cluster
+
+	AS      *mem.AddressSpace
+	Hier    *memsim.Hierarchy
+	NS      *linker.Namespace
+	VM      *vm.VM
+	Worker  *ucx.Worker
+	Counter *cpusim.Counter
+	Stdout  bytes.Buffer
+
+	Receiver *mailbox.Receiver
+
+	pkgs     map[string]*InstalledPackage
+	nextPkg  uint8
+	execArea uint64 // SecureExec scratch
+	// OnExecuted observes every handler execution (benchmark hook).
+	OnExecuted func(ret uint64, cost sim.Duration, err error)
+}
+
+// InstalledPackage is a package present on a node.
+type InstalledPackage struct {
+	Pkg *Package
+	ID  uint8
+	// LocalLib is the loaded Local Function library, with the function
+	// vector indexed by element ID.
+	LocalLib *linker.Loaded
+	localVec map[uint8]uint64
+	rieds    map[string]*linker.Loaded
+}
+
+// AddNode creates a node and attaches it to the fabric.
+func (c *Cluster) AddNode(name string, cfg NodeConfig) (*Node, error) {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 64 << 20
+	}
+	n := &Node{
+		Name:    name,
+		Cfg:     cfg,
+		Cluster: c,
+		AS:      mem.NewAddressSpace(cfg.MemBytes),
+		NS:      linker.NewNamespace(),
+		pkgs:    map[string]*InstalledPackage{},
+	}
+	if cfg.Timing {
+		mc := memsim.DefaultConfig()
+		mc.Stash = cfg.Stash
+		mc.Prefetch = cfg.Prefetch
+		mc.Seed = cfg.Seed ^ uint64(len(c.Nodes))
+		n.Hier = memsim.New(mc)
+	}
+	machine, err := vm.New(n.AS, n.Hier, &n.Stdout)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %s: %w", name, err)
+	}
+	n.VM = machine
+	n.VM.CheckExec = cfg.CheckExec
+	if err := vm.BindLibc(n.VM, n.NS); err != nil {
+		return nil, fmt.Errorf("core: node %s: %w", name, err)
+	}
+	n.Worker = c.Ctx.NewWorker(n.AS, n.Hier)
+	n.Counter = cpusim.NewCounter(sim.NewRNG(cfg.Seed ^ 0xc0ffee ^ uint64(len(c.Nodes))))
+	if cfg.SecureExec {
+		va, err := n.AS.AllocPages("secure-exec", 64*1024, mem.PermRWX)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", name, err)
+		}
+		n.execArea = va
+	}
+	c.Nodes = append(c.Nodes, n)
+	return n, nil
+}
+
+// SetStress toggles the memory-stress co-runner on this node.
+func (n *Node) SetStress(on bool) {
+	if n.Hier != nil {
+		n.Hier.SetStress(on)
+	}
+}
+
+// BindNative registers a host function in this node's namespace, making
+// it callable from jams and rieds like any C library symbol.
+func (n *Node) BindNative(name string, fn vm.NativeFunc) error {
+	va, err := n.VM.BindNative(name, fn)
+	if err != nil {
+		return err
+	}
+	return n.NS.Define(name, va)
+}
+
+// InstallPackage loads a built package onto the node: rieds are loaded as
+// libraries (registering their exports in the node namespace), and the
+// Local Function library is loaded to provide the by-ID function vector.
+func (n *Node) InstallPackage(pkg *Package) (*InstalledPackage, error) {
+	if _, dup := n.pkgs[pkg.Name]; dup {
+		return nil, fmt.Errorf("core: node %s: package %s already installed", n.Name, pkg.Name)
+	}
+	n.nextPkg++
+	inst := &InstalledPackage{
+		Pkg:      pkg,
+		ID:       n.nextPkg,
+		localVec: map[uint8]uint64{},
+		rieds:    map[string]*linker.Loaded{},
+	}
+	opts := linker.LoadOptions{ReadOnlyGOT: n.Cfg.ReadOnlyGOT}
+
+	for _, e := range pkg.Elements {
+		if e.Kind != ElemRied {
+			continue
+		}
+		ld, err := linker.Load(n.AS, n.NS, e.Ried, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: ried %s: %w", n.Name, e.Name, err)
+		}
+		if err := n.mapLibrary(ld); err != nil {
+			return nil, err
+		}
+		inst.rieds[e.Name] = ld
+	}
+	if pkg.LocalLib != nil {
+		ld, err := linker.Load(n.AS, n.NS, pkg.LocalLib, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: local lib: %w", n.Name, err)
+		}
+		if err := n.mapLibrary(ld); err != nil {
+			return nil, err
+		}
+		inst.LocalLib = ld
+		for _, e := range pkg.Elements {
+			if e.Kind != ElemJam {
+				continue
+			}
+			va, ok := ld.Exports[e.Name]
+			if !ok {
+				return nil, fmt.Errorf("core: node %s: local lib lacks %s", n.Name, e.Name)
+			}
+			inst.localVec[e.ID] = va
+		}
+	}
+	n.pkgs[pkg.Name] = inst
+	return inst, nil
+}
+
+// mapLibrary registers a loaded library's text with the VM.
+func (n *Node) mapLibrary(ld *linker.Loaded) error {
+	if ld.TextLen == 0 {
+		return nil
+	}
+	code, err := n.AS.ReadBytesDMA(ld.TextVA, ld.TextLen)
+	if err != nil {
+		return err
+	}
+	if _, err := n.VM.AddRegion(ld.TextVA, code, ld.GotVA); err != nil {
+		return fmt.Errorf("core: node %s: map %s: %w", n.Name, ld.Image.Name, err)
+	}
+	return nil
+}
+
+// Package returns an installed package by name.
+func (n *Node) Package(name string) (*InstalledPackage, bool) {
+	p, ok := n.pkgs[name]
+	return p, ok
+}
+
+// InstallRied ships a standalone ried image to this node and loads it,
+// optionally replacing existing name bindings — the remote-linking dynamic
+// update path (paper §III: applications alter subsequent active message
+// behaviour by loading a library that changes symbol resolution).
+func (n *Node) InstallRied(img *linker.Image, replace bool) (*linker.Loaded, error) {
+	ld, err := linker.Load(n.AS, n.NS, img, linker.LoadOptions{
+		ReadOnlyGOT: n.Cfg.ReadOnlyGOT,
+		Replace:     replace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.mapLibrary(ld); err != nil {
+		return nil, err
+	}
+	return ld, nil
+}
+
+// SymbolVA resolves a name in this node's namespace.
+func (n *Node) SymbolVA(name string) (uint64, bool) {
+	return n.NS.Lookup(name)
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+// iputC is a reimplementation of the Indirect Put jam in AMC (the paper's
+// C-source flow). It must behave identically to the hand-written assembly
+// version for matching inputs.
+const iputC = `
+extern long memcpy(byte* dst, byte* src, long n);
+extern long tc_table[];
+extern long tc_heap[];
+
+long jam_ciput(long* args, byte* usr, long len) {
+    long key = args[0];
+    long h = key * 40503;          // a simpler mix, same probe discipline
+    h = (h ^ (h >> 13)) & 65535;
+    long* table = tc_table;
+    long off = 0;
+    for (;;) {
+        long slotKey = table[h * 2];
+        if (slotKey == key) {
+            off = table[h * 2 + 1];
+            break;
+        }
+        if (slotKey == 0) {
+            table[h * 2] = key;
+            off = (h & 63) << 16;
+            table[h * 2 + 1] = off;
+            break;
+        }
+        h = (h + 1) & 65535;
+    }
+    byte* heap = tc_heap;
+    memcpy(heap + off, usr, len);
+    return off;
+}
+`
+
+// TestCJamMatchesAsmSemantics injects the C-compiled Indirect Put and
+// verifies the same key→offset stability and payload placement properties
+// the assembly jam satisfies.
+func TestCJamMatchesAsmSemantics(t *testing.T) {
+	sources := BenchPackageSources()
+	sources["jam_ciput.amc"] = iputC
+	pkg, err := BuildPackage("tcbench", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(DefaultClusterConfig())
+	a, _ := c.AddNode("A", quickCfg())
+	b, _ := c.AddNode("B", quickCfg())
+	for _, n := range []*Node{a, b} {
+		if _, err := n.InstallPackage(pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := mailbox.Geometry{Banks: 2, Slots: 4, FrameSize: 2048}
+	rcfg := mailbox.DefaultReceiverConfig(g)
+	rcfg.Credits = true
+	if err := b.EnableMailbox(rcfg); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Connect(a, b, ChannelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var offsets []uint64
+	b.OnExecuted = func(r uint64, _ sim.Duration, err error) {
+		if err != nil {
+			t.Errorf("exec: %v", err)
+		}
+		offsets = append(offsets, r)
+	}
+	payload := []byte("C-compiled indirect put payload")
+	for _, key := range []uint64{7, 7, 1234, 7} {
+		if err := ch.Inject("tcbench", "jam_ciput", [2]uint64{key, 0}, payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+	if len(offsets) != 4 {
+		t.Fatalf("executed %d times", len(offsets))
+	}
+	// Same key -> same offset, every time.
+	if offsets[0] != offsets[1] || offsets[0] != offsets[3] {
+		t.Fatalf("key 7 offsets unstable: %v", offsets)
+	}
+	// Payload landed where the function said it did.
+	heapVA, _ := b.SymbolVA("tc_heap")
+	got, err := b.AS.ReadBytes(heapVA+offsets[2], len(payload))
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("heap payload %q, %v", got, err)
+	}
+	// Both keys are in the shared table, alongside anything the asm jam
+	// would insert: the two flavours interoperate on one data structure.
+	tableVA, _ := b.SymbolVA("tc_table")
+	found := map[uint64]bool{}
+	for slot := 0; slot < 65536; slot++ {
+		k, _ := b.AS.ReadU64(tableVA + uint64(slot*16))
+		if k != 0 {
+			found[k] = true
+		}
+	}
+	if !found[7] || !found[1234] {
+		t.Fatalf("table keys: %v", found)
+	}
+}
+
+// TestLocalInjectedEquivalenceProperty: for arbitrary payloads, the two
+// invocation methods of the same source compute the same sum.
+func TestLocalInjectedEquivalenceProperty(t *testing.T) {
+	pkg, err := BuildBenchPackage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(payload []byte, local bool) (uint64, bool) {
+		c := NewCluster(DefaultClusterConfig())
+		a, _ := c.AddNode("A", quickCfg())
+		b, _ := c.AddNode("B", quickCfg())
+		for _, n := range []*Node{a, b} {
+			if _, err := n.InstallPackage(pkg); err != nil {
+				return 0, false
+			}
+		}
+		g := mailbox.Geometry{Banks: 1, Slots: 1, FrameSize: 2048}
+		if err := b.EnableMailbox(mailbox.DefaultReceiverConfig(g)); err != nil {
+			return 0, false
+		}
+		ch, err := Connect(a, b, ChannelOptions{})
+		if err != nil {
+			return 0, false
+		}
+		var ret uint64
+		ok := true
+		b.OnExecuted = func(r uint64, _ sim.Duration, err error) {
+			if err != nil {
+				ok = false
+			}
+			ret = r
+		}
+		if local {
+			err = ch.CallLocal("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+		} else {
+			err = ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+		}
+		if err != nil {
+			return 0, false
+		}
+		c.Run()
+		return ret, ok
+	}
+	f := func(raw []byte) bool {
+		if len(raw) > 1400 {
+			raw = raw[:1400]
+		}
+		li, ok1 := run(raw, true)
+		inj, ok2 := run(raw, false)
+		return ok1 && ok2 && li == inj && li == expectedSum(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInjectedFaultIsIsolated: a jam that faults on the receiver is
+// reported and consumed; the mailbox keeps processing later messages.
+func TestInjectedFaultIsIsolated(t *testing.T) {
+	sources := map[string]string{
+		"jam_crash.ams": `
+.global jam_crash
+jam_crash:
+    movi r3, 0
+    ld   r4, [r3+0]     ; null dereference
+    ret
+`,
+		"jam_fine.ams": `
+.global jam_fine
+jam_fine:
+    movi r0, 77
+    ret
+`,
+	}
+	pkg, err := BuildPackage("crashy", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(DefaultClusterConfig())
+	a, _ := c.AddNode("A", quickCfg())
+	b, _ := c.AddNode("B", quickCfg())
+	if _, err := a.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	g := mailbox.Geometry{Banks: 1, Slots: 2, FrameSize: 256}
+	if err := b.EnableMailbox(mailbox.DefaultReceiverConfig(g)); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Connect(a, b, ChannelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rets []uint64
+	var errs int
+	b.OnExecuted = func(r uint64, _ sim.Duration, err error) {
+		if err != nil {
+			errs++
+			return
+		}
+		rets = append(rets, r)
+	}
+	if err := ch.Inject("crashy", "jam_crash", [2]uint64{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Inject("crashy", "jam_fine", [2]uint64{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if errs != 1 {
+		t.Fatalf("fault count %d", errs)
+	}
+	if len(rets) != 1 || rets[0] != 77 {
+		t.Fatalf("survivor results %v", rets)
+	}
+	if b.Receiver.Stats().Processed != 2 {
+		t.Fatalf("processed %d", b.Receiver.Stats().Processed)
+	}
+	if b.Receiver.Stats().Errors != 1 {
+		t.Fatalf("receiver errors %d", b.Receiver.Stats().Errors)
+	}
+}
+
+// TestRunawayJamIsBounded: an injected infinite loop hits the VM's
+// instruction budget instead of wedging the node.
+func TestRunawayJamIsBounded(t *testing.T) {
+	pkg, err := BuildPackage("spin", map[string]string{
+		"jam_spin.ams": ".global jam_spin\njam_spin:\nspin:\n    jmp spin\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(DefaultClusterConfig())
+	a, _ := c.AddNode("A", quickCfg())
+	b, _ := c.AddNode("B", quickCfg())
+	if _, err := a.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	b.VM.InstrBudget = 100000
+	g := mailbox.Geometry{Banks: 1, Slots: 1, FrameSize: 256}
+	if err := b.EnableMailbox(mailbox.DefaultReceiverConfig(g)); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Connect(a, b, ChannelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execErr error
+	b.OnExecuted = func(_ uint64, _ sim.Duration, err error) { execErr = err }
+	if err := ch.Inject("spin", "jam_spin", [2]uint64{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if execErr == nil {
+		t.Fatal("runaway jam completed without tripping the budget")
+	}
+}
+
+// TestDeterministicRuns: the same seed produces bit-identical simulated
+// timings across full benchmark deployments.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() sim.Duration {
+		pkg, err := BuildBenchPackage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultNodeConfig()
+		cfg.MemBytes = 32 << 20
+		c := NewCluster(DefaultClusterConfig())
+		a, _ := c.AddNode("A", cfg)
+		b, _ := c.AddNode("B", cfg)
+		for _, n := range []*Node{a, b} {
+			if _, err := n.InstallPackage(pkg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.SetStress(true)
+		g := mailbox.Geometry{Banks: 2, Slots: 2, FrameSize: 2048}
+		rcfg := mailbox.DefaultReceiverConfig(g)
+		rcfg.Credits = true
+		if err := b.EnableMailbox(rcfg); err != nil {
+			t.Fatal(err)
+		}
+		ch, err := Connect(a, b, ChannelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if err := ch.Inject("tcbench", "jam_iput", [2]uint64{uint64(i + 1), 0}, make([]byte, 64), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run()
+		return sim.Duration(c.Eng.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+	}
+}

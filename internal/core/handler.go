@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"twochains/internal/mailbox"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+// EnableMailbox arms this node's reactive mailbox with the given
+// configuration; inbound active messages dispatch through the node's VM.
+// It must be called before peers Connect to the node.
+func (n *Node) EnableMailbox(cfg mailbox.ReceiverConfig) error {
+	if n.Receiver != nil {
+		return fmt.Errorf("core: node %s: mailbox already enabled", n.Name)
+	}
+	recv, err := mailbox.NewReceiver(n.Worker, cfg, n.Counter, n.dispatch)
+	if err != nil {
+		return err
+	}
+	n.Receiver = recv
+	recv.Start()
+	return nil
+}
+
+// dispatch executes one delivered active message. It implements both
+// invocation methods of §IV-B: Injected Function (run the code that
+// arrived in the frame) and Local Function (call the library function
+// selected by package and element ID).
+func (n *Node) dispatch(d *mailbox.Delivery) (sim.Duration, error) {
+	switch d.Kind {
+	case mailbox.KindInjected:
+		return n.runInjected(d)
+	case mailbox.KindLocal:
+		return n.runLocal(d)
+	}
+	return 0, nil
+}
+
+// runInjected maps the jam body that travelled in the frame and calls its
+// entry point. The jam's external references resolve through the
+// travelling GOT via the pointer at codeBase-8 — no lookup, no
+// registration, exactly the arrival path of paper Fig. 2.
+func (n *Node) runInjected(d *mailbox.Delivery) (sim.Duration, error) {
+	codeVA, entryVA := d.CodeVA, d.EntryVA
+	var extra sim.Duration
+
+	if n.Cfg.SecureExec {
+		// Security mode: the mailbox page is not executable; copy
+		// [gp slot][body] into the execution area so the gp-before-code
+		// convention still holds, and pay for the copy.
+		span := 8 + d.BodyLen
+		raw, err := n.AS.ReadBytesDMA(d.GpSlotVA, span)
+		if err != nil {
+			return 0, err
+		}
+		if err := n.AS.WriteBytesDMA(n.execArea, raw); err != nil {
+			return 0, err
+		}
+		if n.Hier != nil {
+			extra += n.Hier.Access(d.GpSlotVA, span, memsim.Read)
+			extra += n.Hier.Access(n.execArea, span, memsim.Write)
+		}
+		extra += model.Cycles(float64(span) * 0.12)
+		delta := d.EntryVA - d.CodeVA
+		codeVA = n.execArea + 8
+		entryVA = codeVA + delta
+	}
+
+	code, err := n.AS.ReadBytesDMA(codeVA, d.TextLen)
+	if err != nil {
+		return extra, err
+	}
+	region, err := n.VM.AddRegion(codeVA, code, 0)
+	if err != nil {
+		return extra, fmt.Errorf("core: node %s: bad injected code: %w", n.Name, err)
+	}
+	defer n.VM.RemoveRegion(region)
+
+	ret, cost, err := n.VM.Call(entryVA, d.ArgsVA, d.UsrVA, uint64(d.UsrLen))
+	if n.OnExecuted != nil {
+		n.OnExecuted(ret, extra+cost, err)
+	}
+	return extra + cost, err
+}
+
+// runLocal invokes the function from the package's Local Function library
+// selected by the frame's package and element IDs (paper Fig. 3: "a vector
+// of function pointers that are called by using the ID included in the
+// active message header").
+func (n *Node) runLocal(d *mailbox.Delivery) (sim.Duration, error) {
+	inst := n.packageByID(d.PkgID)
+	if inst == nil {
+		return 0, fmt.Errorf("core: node %s: no installed package with ID %d", n.Name, d.PkgID)
+	}
+	entry, ok := inst.localVec[d.ElemID]
+	if !ok {
+		return 0, fmt.Errorf("core: node %s: package %s has no element %d",
+			n.Name, inst.Pkg.Name, d.ElemID)
+	}
+	ret, cost, err := n.VM.Call(entry, d.ArgsVA, d.UsrVA, uint64(d.UsrLen))
+	if n.OnExecuted != nil {
+		n.OnExecuted(ret, cost, err)
+	}
+	return cost, err
+}
+
+func (n *Node) packageByID(id uint8) *InstalledPackage {
+	for _, inst := range n.pkgs {
+		if inst.ID == id {
+			return inst
+		}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package elfobj defines the relocatable object format produced by the
+// Two-Chains toolchain (assembler and AMC compiler) and consumed by the
+// linker — the role ELF .o files play in the paper's GNU Binutils flow.
+//
+// An object holds four sections (.text, .rodata, .data, .bss), a symbol
+// table, and relocations. The relocation set mirrors what the paper's
+// -fPIC -fno-plt compilation discipline produces:
+//
+//   - RelCall / RelBranch: PC-relative references to symbols in .text,
+//     position independent by construction;
+//   - RelLea: PC-relative address formation (string literals, tables);
+//   - RelGot: reference to an external symbol through a GOT slot — the
+//     only way an object may touch anything outside itself;
+//   - RelAbs64: an 8-byte pointer in .data/.rodata resolved at load time.
+package elfobj
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic identifies the serialized object format ("TCEO": Two-Chains ELF-
+// like Object).
+const Magic = 0x4f454354
+
+// Version is the serialization version.
+const Version = 1
+
+// SectionID names a section.
+type SectionID uint8
+
+const (
+	SecNone SectionID = iota
+	SecText
+	SecRodata
+	SecData
+	SecBss
+)
+
+func (s SectionID) String() string {
+	switch s {
+	case SecNone:
+		return "*UND*"
+	case SecText:
+		return ".text"
+	case SecRodata:
+		return ".rodata"
+	case SecData:
+		return ".data"
+	case SecBss:
+		return ".bss"
+	}
+	return fmt.Sprintf("sec(%d)", uint8(s))
+}
+
+// Binding is symbol visibility.
+type Binding uint8
+
+const (
+	BindLocal Binding = iota
+	BindGlobal
+)
+
+// SymKind distinguishes code from data symbols.
+type SymKind uint8
+
+const (
+	KindFunc SymKind = iota
+	KindObject
+)
+
+// Symbol is one symbol-table entry. Undefined symbols (references to other
+// modules or to native libraries) have Section == SecNone.
+type Symbol struct {
+	Name    string
+	Section SectionID
+	Binding Binding
+	Kind    SymKind
+	Value   uint32 // offset within Section
+	Size    uint32
+}
+
+// Defined reports whether the symbol has a definition in this object.
+func (s Symbol) Defined() bool { return s.Section != SecNone }
+
+// RelocType enumerates fixup kinds.
+type RelocType uint8
+
+const (
+	// RelCall patches the imm of a CALL instruction with the PC-relative
+	// distance to the symbol, in instruction units.
+	RelCall RelocType = iota
+	// RelBranch is RelCall for conditional branches and JMP.
+	RelBranch
+	// RelLea patches the imm of a LEA instruction with the PC-relative
+	// distance to the symbol, in bytes.
+	RelLea
+	// RelGot patches the imm of a CALLG/LDG instruction with the GOT slot
+	// index the linker assigns to the symbol.
+	RelGot
+	// RelAbs64 writes the symbol's load-time VA (+addend) into 8 bytes of
+	// a data section; resolved by the loader.
+	RelAbs64
+)
+
+func (r RelocType) String() string {
+	switch r {
+	case RelCall:
+		return "CALL"
+	case RelBranch:
+		return "BRANCH"
+	case RelLea:
+		return "LEA"
+	case RelGot:
+		return "GOT"
+	case RelAbs64:
+		return "ABS64"
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// Reloc is one relocation record.
+type Reloc struct {
+	Type    RelocType
+	Section SectionID // section containing the bytes to fix up
+	Offset  uint32    // byte offset of the fixup within Section
+	Sym     int       // index into Symbols
+	Addend  int32
+}
+
+// Object is a relocatable translation unit.
+type Object struct {
+	Name    string // source name, e.g. "jam_sssum.amc"
+	Text    []byte
+	Rodata  []byte
+	Data    []byte
+	BssSize uint32
+	Symbols []Symbol
+	Relocs  []Reloc
+}
+
+// Section returns the contents of a progbits section.
+func (o *Object) Section(id SectionID) []byte {
+	switch id {
+	case SecText:
+		return o.Text
+	case SecRodata:
+		return o.Rodata
+	case SecData:
+		return o.Data
+	}
+	return nil
+}
+
+// SectionSize returns the size of any section including .bss.
+func (o *Object) SectionSize(id SectionID) int {
+	if id == SecBss {
+		return int(o.BssSize)
+	}
+	return len(o.Section(id))
+}
+
+// FindSymbol returns the index of the named symbol, or -1.
+func (o *Object) FindSymbol(name string) int {
+	for i, s := range o.Symbols {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks internal consistency: symbol offsets within sections,
+// relocation targets within bounds, symbol indices valid.
+func (o *Object) Validate() error {
+	for i, s := range o.Symbols {
+		if s.Name == "" {
+			return fmt.Errorf("elfobj %s: symbol %d has empty name", o.Name, i)
+		}
+		if s.Defined() {
+			if int(s.Value) > o.SectionSize(s.Section) {
+				return fmt.Errorf("elfobj %s: symbol %q offset %d outside %s (size %d)",
+					o.Name, s.Name, s.Value, s.Section, o.SectionSize(s.Section))
+			}
+		}
+	}
+	for i, r := range o.Relocs {
+		if r.Sym < 0 || r.Sym >= len(o.Symbols) {
+			return fmt.Errorf("elfobj %s: reloc %d: bad symbol index %d", o.Name, i, r.Sym)
+		}
+		sec := o.Section(r.Section)
+		if sec == nil {
+			return fmt.Errorf("elfobj %s: reloc %d: fixup in %s", o.Name, i, r.Section)
+		}
+		need := 8
+		if r.Type != RelAbs64 {
+			// Instruction imm fixups patch 4 bytes at Offset+4.
+			need = 8
+			if r.Offset%8 != 0 {
+				return fmt.Errorf("elfobj %s: reloc %d: %s fixup misaligned at %d",
+					o.Name, i, r.Type, r.Offset)
+			}
+		}
+		if int(r.Offset)+need > len(sec) {
+			return fmt.Errorf("elfobj %s: reloc %d: fixup at %d overruns %s (size %d)",
+				o.Name, i, r.Offset, r.Section, len(sec))
+		}
+	}
+	if len(o.Text)%8 != 0 {
+		return fmt.Errorf("elfobj %s: .text size %d not instruction aligned", o.Name, len(o.Text))
+	}
+	return nil
+}
+
+// Encode serializes the object.
+func (o *Object) Encode() []byte {
+	var b buf
+	b.u32(Magic)
+	b.u16(Version)
+	b.str(o.Name)
+	b.bytes(o.Text)
+	b.bytes(o.Rodata)
+	b.bytes(o.Data)
+	b.u32(o.BssSize)
+	b.u32(uint32(len(o.Symbols)))
+	for _, s := range o.Symbols {
+		b.str(s.Name)
+		b.u8(uint8(s.Section))
+		b.u8(uint8(s.Binding))
+		b.u8(uint8(s.Kind))
+		b.u32(s.Value)
+		b.u32(s.Size)
+	}
+	b.u32(uint32(len(o.Relocs)))
+	for _, r := range o.Relocs {
+		b.u8(uint8(r.Type))
+		b.u8(uint8(r.Section))
+		b.u32(r.Offset)
+		b.u32(uint32(r.Sym))
+		b.u32(uint32(r.Addend))
+	}
+	return b.out
+}
+
+// Decode parses a serialized object.
+func Decode(data []byte) (*Object, error) {
+	r := reader{in: data}
+	if r.u32() != Magic {
+		return nil, fmt.Errorf("elfobj: bad magic")
+	}
+	if v := r.u16(); v != Version {
+		return nil, fmt.Errorf("elfobj: unsupported version %d", v)
+	}
+	o := &Object{}
+	o.Name = r.str()
+	o.Text = r.bytes()
+	o.Rodata = r.bytes()
+	o.Data = r.bytes()
+	o.BssSize = r.u32()
+	nsym := int(r.u32())
+	if nsym > 1<<20 {
+		return nil, fmt.Errorf("elfobj: implausible symbol count %d", nsym)
+	}
+	if nsym > 0 {
+		o.Symbols = make([]Symbol, nsym)
+	}
+	for i := range o.Symbols {
+		o.Symbols[i] = Symbol{
+			Name:    r.str(),
+			Section: SectionID(r.u8()),
+			Binding: Binding(r.u8()),
+			Kind:    SymKind(r.u8()),
+			Value:   r.u32(),
+			Size:    r.u32(),
+		}
+	}
+	nrel := int(r.u32())
+	if nrel > 1<<20 {
+		return nil, fmt.Errorf("elfobj: implausible reloc count %d", nrel)
+	}
+	if nrel > 0 {
+		o.Relocs = make([]Reloc, nrel)
+	}
+	for i := range o.Relocs {
+		o.Relocs[i] = Reloc{
+			Type:    RelocType(r.u8()),
+			Section: SectionID(r.u8()),
+			Offset:  r.u32(),
+			Sym:     int(r.u32()),
+			Addend:  int32(r.u32()),
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("elfobj: truncated object: %w", r.err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// buf is a tiny append-only encoder.
+type buf struct{ out []byte }
+
+func (b *buf) u8(v uint8)   { b.out = append(b.out, v) }
+func (b *buf) u16(v uint16) { b.out = binary.LittleEndian.AppendUint16(b.out, v) }
+func (b *buf) u32(v uint32) { b.out = binary.LittleEndian.AppendUint32(b.out, v) }
+func (b *buf) str(s string) {
+	b.u16(uint16(len(s)))
+	b.out = append(b.out, s...)
+}
+func (b *buf) bytes(p []byte) {
+	b.u32(uint32(len(p)))
+	b.out = append(b.out, p...)
+}
+
+// reader is the matching decoder; it latches the first error.
+type reader struct {
+	in  []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.in) {
+		r.err = fmt.Errorf("need %d bytes at %d, have %d", n, r.off, len(r.in)-r.off)
+		return nil
+	}
+	out := r.in[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	return string(b)
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if n == 0 {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

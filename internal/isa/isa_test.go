@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{Op: Op(op % uint8(opCount)), Rd: rd % NumRegs, Rs1: rs1 % NumRegs, Rs2: rs2 % NumRegs, Imm: imm}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		return Decode(buf[:]) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAllDecodeAllRoundTrip(t *testing.T) {
+	prog := []Instr{
+		{Op: MOVI, Rd: 0, Imm: 42},
+		{Op: ADDI, Rd: 1, Rs1: 0, Imm: -7},
+		{Op: ST, Rd: 1, Rs1: 15, Imm: 8},
+		{Op: RET},
+	}
+	code := EncodeAll(prog)
+	if len(code) != len(prog)*InstrSize {
+		t.Fatalf("code length %d", len(code))
+	}
+	back, err := DecodeAll(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Fatalf("instr %d: %v != %v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeAllRejectsRaggedCode(t *testing.T) {
+	if _, err := DecodeAll(make([]byte, 12)); err == nil {
+		t.Fatal("ragged code accepted")
+	}
+}
+
+func TestValidateRejectsUnknownOpcode(t *testing.T) {
+	in := Instr{Op: Op(200)}
+	if err := in.Validate(); err == nil {
+		t.Fatal("unknown opcode validated")
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	in := Instr{Op: ADD, Rd: 16}
+	if err := in.Validate(); err == nil {
+		t.Fatal("register 16 validated")
+	}
+}
+
+func TestValidateRejectsNegativeGotSlot(t *testing.T) {
+	in := Instr{Op: CALLG, Imm: -1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative GOT slot validated")
+	}
+}
+
+func TestValidateAcceptsAllDefinedOps(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		in := Instr{Op: op, Imm: 1}
+		if err := in.Validate(); err != nil {
+			t.Errorf("op %d (%s): %v", op, infos[op].Name, err)
+		}
+	}
+}
+
+func TestByNameCoversAllOps(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		name := infos[op].Name
+		if name == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+		got, ok := ByName(name)
+		if !ok || got != op {
+			t.Fatalf("ByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Fatal("bogus mnemonic resolved")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: MOVI, Rd: 3, Imm: -5}, "movi r3, -5"},
+		{Instr{Op: MOV, Rd: 1, Rs1: 2}, "mov r1, r2"},
+		{Instr{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: ADDI, Rd: 1, Rs1: 2, Imm: 4}, "addi r1, r2, 4"},
+		{Instr{Op: LD, Rd: 5, Rs1: 15, Imm: 16}, "ld r5, [r15+16]"},
+		{Instr{Op: ST, Rd: 5, Rs1: 15, Imm: -8}, "st r5, [r15-8]"},
+		{Instr{Op: BEQ, Rs1: 1, Rs2: 2, Imm: 10}, "beq r1, r2, 10"},
+		{Instr{Op: JMP, Imm: -3}, "jmp -3"},
+		{Instr{Op: CALLR, Rs1: 7}, "callr r7"},
+		{Instr{Op: CALLG, Imm: 2}, "callg @2"},
+		{Instr{Op: LDP, Rd: 4, Imm: 1}, "ldp r4, @1"},
+		{Instr{Op: RET}, "ret"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStringUnknownOpcode(t *testing.T) {
+	in := Instr{Op: Op(250), Imm: 1}
+	if !strings.HasPrefix(in.String(), ".word") {
+		t.Fatalf("unknown opcode string: %q", in.String())
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	code := EncodeAll([]Instr{{Op: MOVI, Rd: 0, Imm: 1}, {Op: RET}})
+	text, err := Disassemble(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "movi r0, 1") || !strings.Contains(text, "ret") {
+		t.Fatalf("disassembly:\n%s", text)
+	}
+}
+
+func TestKindTableConsistency(t *testing.T) {
+	// Every GOT op must have a GOT kind; every load/store a memory kind.
+	if infos[CALLG].Kind != OperGotCall || infos[CALLP].Kind != OperGotCall {
+		t.Fatal("GOT call kinds wrong")
+	}
+	if infos[LDG].Kind != OperGotLoad || infos[LDP].Kind != OperGotLoad {
+		t.Fatal("GOT load kinds wrong")
+	}
+	for _, op := range []Op{LDB, LDH, LDW, LD} {
+		if infos[op].Kind != OperMemLoad {
+			t.Fatalf("%s not a load", infos[op].Name)
+		}
+	}
+	for _, op := range []Op{STB, STH, STW, ST} {
+		if infos[op].Kind != OperMemStore {
+			t.Fatalf("%s not a store", infos[op].Name)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package linker implements the Two-Chains link and load pipeline:
+//
+//   - LinkLibrary combines relocatable objects into a shared-library Image
+//     (the paper's "ried" container and the Local Function library);
+//   - Load maps an Image into a node's address space, binding its GOT
+//     against the node's symbol namespace — standard dynamic linking;
+//   - BuildJam extracts a single function (plus its read-only data) from an
+//     object and statically rewrites its GOT accesses to indirect through a
+//     pointer stored just before the code, producing a relocatable "jam"
+//     that can execute at any address on any receiver (paper §III-B).
+package linker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"twochains/internal/elfobj"
+)
+
+// PageAlign is the section alignment inside a linked image, chosen so the
+// loader can apply distinct page permissions per section.
+const PageAlign = 4096
+
+// ImageMagic identifies a serialized Image ("TCSO").
+const ImageMagic = 0x4f534354
+
+// ImageSym is an exported symbol, at an image-relative offset.
+type ImageSym struct {
+	Name string
+	Off  uint32
+	Kind elfobj.SymKind
+}
+
+// GotEntry describes one GOT slot. Local entries bind to an offset inside
+// the image; external entries bind by name through the node namespace at
+// load time.
+type GotEntry struct {
+	Sym   string // diagnostic name (always set)
+	Local bool
+	Off   uint32 // image-relative target when Local
+}
+
+// LoadReloc is an 8-byte pointer fixup applied at load time (RelAbs64).
+type LoadReloc struct {
+	Off    uint32 // image-relative location of the pointer
+	Sym    string // external symbol name when not Local
+	Local  bool
+	Target uint32 // image-relative target when Local
+	Addend int32
+}
+
+// Image is a linked shared object with a fixed internal layout:
+// [GOT][.text][.rodata][.data][.bss], each section page-aligned.
+type Image struct {
+	Name string
+	Blob []byte // GOT placeholder through end of .data; .bss is implicit
+
+	GotOff, GotLen       int
+	TextOff, TextLen     int
+	RodataOff, RodataLen int
+	DataOff, DataLen     int
+	BssOff, BssLen       int
+	TotalSize            int
+
+	Exports    []ImageSym
+	Got        []GotEntry
+	LoadRelocs []LoadReloc
+}
+
+// FindExport returns the image-relative offset of an exported symbol.
+func (img *Image) FindExport(name string) (ImageSym, bool) {
+	for _, s := range img.Exports {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ImageSym{}, false
+}
+
+// Externs returns the names of external symbols the image needs at load.
+func (img *Image) Externs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range img.Got {
+		if !g.Local && !seen[g.Sym] {
+			seen[g.Sym] = true
+			out = append(out, g.Sym)
+		}
+	}
+	for _, lr := range img.LoadRelocs {
+		if !lr.Local && !seen[lr.Sym] {
+			seen[lr.Sym] = true
+			out = append(out, lr.Sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode serializes the image (the on-the-wire form of a ried).
+func (img *Image) Encode() []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	str := func(s string) {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	u32(ImageMagic)
+	str(img.Name)
+	u32(uint32(len(img.Blob)))
+	b = append(b, img.Blob...)
+	for _, v := range []int{
+		img.GotOff, img.GotLen, img.TextOff, img.TextLen,
+		img.RodataOff, img.RodataLen, img.DataOff, img.DataLen,
+		img.BssOff, img.BssLen, img.TotalSize,
+	} {
+		u32(uint32(v))
+	}
+	u32(uint32(len(img.Exports)))
+	for _, e := range img.Exports {
+		str(e.Name)
+		u32(e.Off)
+		b = append(b, byte(e.Kind))
+	}
+	u32(uint32(len(img.Got)))
+	for _, g := range img.Got {
+		str(g.Sym)
+		flag := byte(0)
+		if g.Local {
+			flag = 1
+		}
+		b = append(b, flag)
+		u32(g.Off)
+	}
+	u32(uint32(len(img.LoadRelocs)))
+	for _, lr := range img.LoadRelocs {
+		str(lr.Sym)
+		flag := byte(0)
+		if lr.Local {
+			flag = 1
+		}
+		b = append(b, flag)
+		u32(lr.Off)
+		u32(lr.Target)
+		u32(uint32(lr.Addend))
+	}
+	return b
+}
+
+// DecodeImage parses a serialized image.
+func DecodeImage(data []byte) (*Image, error) {
+	off := 0
+	fail := func(what string) (*Image, error) {
+		return nil, fmt.Errorf("linker: truncated image at %s (offset %d)", what, off)
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	str := func() (string, bool) {
+		if off+2 > len(data) {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+n > len(data) {
+			return "", false
+		}
+		s := string(data[off : off+n])
+		off += n
+		return s, true
+	}
+	magic, ok := u32()
+	if !ok || magic != ImageMagic {
+		return nil, fmt.Errorf("linker: bad image magic")
+	}
+	img := &Image{}
+	if img.Name, ok = str(); !ok {
+		return fail("name")
+	}
+	blobLen, ok := u32()
+	if !ok || off+int(blobLen) > len(data) {
+		return fail("blob")
+	}
+	img.Blob = make([]byte, blobLen)
+	copy(img.Blob, data[off:off+int(blobLen)])
+	off += int(blobLen)
+	ptrs := []*int{
+		&img.GotOff, &img.GotLen, &img.TextOff, &img.TextLen,
+		&img.RodataOff, &img.RodataLen, &img.DataOff, &img.DataLen,
+		&img.BssOff, &img.BssLen, &img.TotalSize,
+	}
+	for _, p := range ptrs {
+		v, ok := u32()
+		if !ok {
+			return fail("layout")
+		}
+		*p = int(v)
+	}
+	nexp, ok := u32()
+	if !ok || nexp > 1<<20 {
+		return fail("exports")
+	}
+	for i := 0; i < int(nexp); i++ {
+		var e ImageSym
+		if e.Name, ok = str(); !ok {
+			return fail("export name")
+		}
+		v, ok := u32()
+		if !ok || off >= len(data) {
+			return fail("export off")
+		}
+		e.Off = v
+		e.Kind = elfobj.SymKind(data[off])
+		off++
+		img.Exports = append(img.Exports, e)
+	}
+	ngot, ok := u32()
+	if !ok || ngot > 1<<20 {
+		return fail("got")
+	}
+	for i := 0; i < int(ngot); i++ {
+		var g GotEntry
+		if g.Sym, ok = str(); !ok {
+			return fail("got sym")
+		}
+		if off >= len(data) {
+			return fail("got flag")
+		}
+		g.Local = data[off] == 1
+		off++
+		v, ok := u32()
+		if !ok {
+			return fail("got off")
+		}
+		g.Off = v
+		img.Got = append(img.Got, g)
+	}
+	nlr, ok := u32()
+	if !ok || nlr > 1<<20 {
+		return fail("loadrelocs")
+	}
+	for i := 0; i < int(nlr); i++ {
+		var lr LoadReloc
+		if lr.Sym, ok = str(); !ok {
+			return fail("loadreloc sym")
+		}
+		if off >= len(data) {
+			return fail("loadreloc flag")
+		}
+		lr.Local = data[off] == 1
+		off++
+		a, ok1 := u32()
+		b2, ok2 := u32()
+		c, ok3 := u32()
+		if !ok1 || !ok2 || !ok3 {
+			return fail("loadreloc fields")
+		}
+		lr.Off, lr.Target, lr.Addend = a, b2, int32(c)
+		img.LoadRelocs = append(img.LoadRelocs, lr)
+	}
+	return img, nil
+}

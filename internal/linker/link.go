@@ -1,0 +1,277 @@
+package linker
+
+import (
+	"fmt"
+
+	"twochains/internal/elfobj"
+	"twochains/internal/isa"
+)
+
+func alignUp(v, a int) int { return (v + a - 1) / a * a }
+
+// def records the object that defines a global symbol.
+type def struct {
+	objIdx int
+	sym    elfobj.Symbol
+}
+
+// LinkLibrary links objects into a shared-library image. All global defined
+// symbols are exported; references to symbols not defined by any input
+// become external GOT entries or load relocations bound at load time.
+func LinkLibrary(name string, objs []*elfobj.Object) (*Image, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("linker: %s: no input objects", name)
+	}
+	for _, o := range objs {
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("linker: %s: %w", name, err)
+		}
+	}
+
+	// Pass 1: lay out sections (concatenated per kind) and index symbols.
+	type secBase struct{ text, rodata, data, bss int }
+	bases := make([]secBase, len(objs))
+	var textLen, rodataLen, dataLen, bssLen int
+	for i, o := range objs {
+		bases[i].text = textLen
+		textLen += len(o.Text)
+		bases[i].rodata = alignUp(rodataLen, 16)
+		rodataLen = bases[i].rodata + len(o.Rodata)
+		bases[i].data = alignUp(dataLen, 16)
+		dataLen = bases[i].data + len(o.Data)
+		bases[i].bss = alignUp(bssLen, 16)
+		bssLen = bases[i].bss + int(o.BssSize)
+	}
+
+	// Section-relative offset of a defined symbol, before image layout.
+	secRel := func(objIdx int, s elfobj.Symbol) int {
+		switch s.Section {
+		case elfobj.SecText:
+			return bases[objIdx].text + int(s.Value)
+		case elfobj.SecRodata:
+			return bases[objIdx].rodata + int(s.Value)
+		case elfobj.SecData:
+			return bases[objIdx].data + int(s.Value)
+		case elfobj.SecBss:
+			return bases[objIdx].bss + int(s.Value)
+		}
+		return -1
+	}
+
+	// Global symbol resolution across objects.
+	globals := map[string]def{}
+	for i, o := range objs {
+		for _, s := range o.Symbols {
+			if s.Defined() && s.Binding == elfobj.BindGlobal {
+				if prev, dup := globals[s.Name]; dup {
+					return nil, fmt.Errorf("linker: %s: symbol %q defined in both %s and %s",
+						name, s.Name, objs[prev.objIdx].Name, o.Name)
+				}
+				globals[s.Name] = def{i, s}
+			}
+		}
+	}
+
+	// Image layout: [GOT][text][rodata][data][bss], page-aligned sections.
+	// The GOT size is known only after scanning relocations, so collect
+	// GOT entries first, keyed to dedupe: globals/externs by name, locals
+	// by (object, name).
+	type gotKey struct {
+		obj  int // -1 for global/extern
+		name string
+	}
+	gotIdx := map[gotKey]int{}
+	var gotEntries []GotEntry
+
+	gotSlot := func(objIdx int, s elfobj.Symbol) int {
+		key := gotKey{-1, s.Name}
+		entry := GotEntry{Sym: s.Name}
+		if g, isGlobal := globals[s.Name]; isGlobal {
+			entry.Local = true
+			entry.Off = uint32(secRel(g.objIdx, g.sym)) // fixed up to image offsets below
+		} else if s.Defined() {
+			// Local symbol referenced through the GOT.
+			key = gotKey{objIdx, s.Name}
+			entry.Local = true
+			entry.Off = uint32(secRel(objIdx, s))
+		}
+		if i, ok := gotIdx[key]; ok {
+			return i
+		}
+		gotIdx[key] = len(gotEntries)
+		gotEntries = append(gotEntries, entry)
+		return len(gotEntries) - 1
+	}
+
+	// Pre-scan RelGot to fix the GOT size. Other reloc types do not affect
+	// layout. Iterate deterministically.
+	for i, o := range objs {
+		for _, r := range o.Relocs {
+			if r.Type == elfobj.RelGot {
+				s := o.Symbols[r.Sym]
+				if s.Defined() || s.Binding == elfobj.BindGlobal {
+					gotSlot(i, resolveSym(globals, i, s))
+				} else {
+					return nil, fmt.Errorf("linker: %s: %s: GOT reference to undefined local %q",
+						name, o.Name, s.Name)
+				}
+			}
+		}
+	}
+
+	img := &Image{Name: name}
+	img.GotOff = 0
+	img.GotLen = len(gotEntries) * 8
+	img.TextOff = alignUp(img.GotOff+img.GotLen, PageAlign)
+	img.TextLen = textLen
+	img.RodataOff = alignUp(img.TextOff+img.TextLen, PageAlign)
+	img.RodataLen = rodataLen
+	img.DataOff = alignUp(img.RodataOff+img.RodataLen, PageAlign)
+	img.DataLen = dataLen
+	img.BssOff = alignUp(img.DataOff+img.DataLen, PageAlign)
+	img.BssLen = bssLen
+	img.TotalSize = alignUp(img.BssOff+img.BssLen, PageAlign)
+
+	// imageOff converts a defined symbol to its final image offset.
+	imageOff := func(objIdx int, s elfobj.Symbol) int {
+		rel := secRel(objIdx, s)
+		switch s.Section {
+		case elfobj.SecText:
+			return img.TextOff + rel
+		case elfobj.SecRodata:
+			return img.RodataOff + rel
+		case elfobj.SecData:
+			return img.DataOff + rel
+		case elfobj.SecBss:
+			return img.BssOff + rel
+		}
+		return -1
+	}
+
+	// Fix GOT local targets from section-relative to image offsets.
+	for i := range gotEntries {
+		if gotEntries[i].Local {
+			// Re-resolve via the definition to apply section bases.
+			if g, ok := globals[gotEntries[i].Sym]; ok {
+				gotEntries[i].Off = uint32(imageOff(g.objIdx, g.sym))
+			}
+		}
+	}
+	// Local (non-global) GOT targets need per-object resolution; rebuild
+	// them by re-scanning (their keys carry the object index).
+	for key, idx := range gotIdx {
+		if key.obj >= 0 {
+			o := objs[key.obj]
+			si := o.FindSymbol(key.name)
+			gotEntries[idx].Off = uint32(imageOff(key.obj, o.Symbols[si]))
+		}
+	}
+	img.Got = gotEntries
+
+	// Build the blob and copy sections.
+	img.Blob = make([]byte, img.BssOff)
+	for i, o := range objs {
+		copy(img.Blob[img.TextOff+bases[i].text:], o.Text)
+		copy(img.Blob[img.RodataOff+bases[i].rodata:], o.Rodata)
+		copy(img.Blob[img.DataOff+bases[i].data:], o.Data)
+	}
+
+	// Apply relocations.
+	for i, o := range objs {
+		for _, r := range o.Relocs {
+			s := resolveSym(globals, i, o.Symbols[r.Sym])
+			fixOff := 0
+			switch r.Section {
+			case elfobj.SecText:
+				fixOff = img.TextOff + bases[i].text + int(r.Offset)
+			case elfobj.SecRodata:
+				fixOff = img.RodataOff + bases[i].rodata + int(r.Offset)
+			case elfobj.SecData:
+				fixOff = img.DataOff + bases[i].data + int(r.Offset)
+			}
+			switch r.Type {
+			case elfobj.RelCall, elfobj.RelBranch:
+				tgt, objIdx, ok := definedTarget(globals, objs, i, s)
+				if !ok {
+					return nil, fmt.Errorf("linker: %s: %s: direct %s to undefined symbol %q (use callg)",
+						name, o.Name, r.Type, s.Name)
+				}
+				delta := imageOff(objIdx, tgt) - fixOff
+				patchImm(img.Blob, fixOff, int32(delta/isa.InstrSize+int(r.Addend)))
+			case elfobj.RelLea:
+				tgt, objIdx, ok := definedTarget(globals, objs, i, s)
+				if !ok {
+					return nil, fmt.Errorf("linker: %s: %s: lea of undefined symbol %q",
+						name, o.Name, s.Name)
+				}
+				delta := imageOff(objIdx, tgt) - fixOff
+				patchImm(img.Blob, fixOff, int32(delta+int(r.Addend)))
+			case elfobj.RelGot:
+				slot := gotSlot(i, s)
+				patchImm(img.Blob, fixOff, int32(slot))
+			case elfobj.RelAbs64:
+				lr := LoadReloc{Off: uint32(fixOff), Addend: r.Addend}
+				if tgt, objIdx, ok := definedTarget(globals, objs, i, s); ok {
+					lr.Local = true
+					lr.Target = uint32(imageOff(objIdx, tgt))
+					lr.Sym = s.Name
+				} else {
+					lr.Sym = s.Name
+				}
+				img.LoadRelocs = append(img.LoadRelocs, lr)
+			}
+		}
+	}
+
+	// Exports: all global definitions.
+	for symName, d := range globals {
+		img.Exports = append(img.Exports, ImageSym{
+			Name: symName,
+			Off:  uint32(imageOff(d.objIdx, d.sym)),
+			Kind: d.sym.Kind,
+		})
+	}
+	sortExports(img.Exports)
+	return img, nil
+}
+
+// resolveSym maps an object-level symbol to its authoritative definition:
+// a global name resolves across objects; locals stay as-is.
+func resolveSym(globals map[string]def, objIdx int, s elfobj.Symbol) elfobj.Symbol {
+	if s.Defined() && s.Binding == elfobj.BindLocal {
+		return s
+	}
+	if g, ok := globals[s.Name]; ok {
+		return g.sym
+	}
+	return s // undefined external
+}
+
+// definedTarget finds the defining object for a symbol reference.
+func definedTarget(globals map[string]def, objs []*elfobj.Object, objIdx int, s elfobj.Symbol) (elfobj.Symbol, int, bool) {
+	if s.Defined() && s.Binding == elfobj.BindLocal {
+		return s, objIdx, true
+	}
+	if g, ok := globals[s.Name]; ok {
+		return g.sym, g.objIdx, true
+	}
+	return elfobj.Symbol{}, 0, false
+}
+
+// patchImm writes v into the imm field (bytes 4-7) of the instruction at
+// byte offset off.
+func patchImm(blob []byte, off int, v int32) {
+	u := uint32(v)
+	blob[off+4] = byte(u)
+	blob[off+5] = byte(u >> 8)
+	blob[off+6] = byte(u >> 16)
+	blob[off+7] = byte(u >> 24)
+}
+
+func sortExports(exps []ImageSym) {
+	for i := 1; i < len(exps); i++ {
+		for j := i; j > 0 && exps[j].Name < exps[j-1].Name; j-- {
+			exps[j], exps[j-1] = exps[j-1], exps[j]
+		}
+	}
+}

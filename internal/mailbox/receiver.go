@@ -1,0 +1,265 @@
+package mailbox
+
+import (
+	"fmt"
+
+	"twochains/internal/cpusim"
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+	"twochains/internal/simnet"
+	"twochains/internal/ucx"
+)
+
+// Handler executes one delivered message and returns the simulated
+// execution cost (zero for without-execution runs). The Two-Chains core
+// runtime supplies a handler that dispatches to the VM.
+type Handler func(d *Delivery) (sim.Duration, error)
+
+// ReceiverConfig selects mailbox behaviour.
+type ReceiverConfig struct {
+	Geometry Geometry
+	WaitMode cpusim.WaitMode
+	// Credits enables bank-granular flow control: after draining a bank
+	// the receiver puts a flag back to the sender. Ping-pong shapes
+	// disable it (the response message is the implicit credit).
+	Credits bool
+	// VariableFrames models the variable-size frame protocol: the
+	// receiver waits on the header first, computes the frame length, then
+	// waits on the trailing signal — a second wait episode per message.
+	VariableFrames bool
+	// PagePerm is the mailbox page permission; the paper's compact layout
+	// uses RWX, the security ablation splits it.
+	PagePerm mem.Perm
+	// InsertGp makes the receiver overwrite the GOT pointer slot on
+	// arrival instead of trusting the sender's value (paper §V security
+	// option: "have the receiver insert the GOT pointer on message
+	// arrival").
+	InsertGp bool
+}
+
+// DefaultReceiverConfig returns the paper's measurement configuration:
+// fixed frames, RWX mailbox pages, polling wait.
+func DefaultReceiverConfig(g Geometry) ReceiverConfig {
+	return ReceiverConfig{Geometry: g, WaitMode: cpusim.Poll, PagePerm: mem.PermRWX}
+}
+
+// ReceiverStats counts receiver-side activity.
+type ReceiverStats struct {
+	Processed   uint64
+	CreditsSent uint64
+	Errors      uint64
+}
+
+// Receiver owns a node's mailbox region and its reactive receive loop.
+type Receiver struct {
+	Cfg     ReceiverConfig
+	Worker  *ucx.Worker
+	Counter *cpusim.Counter
+	Handler Handler
+
+	BaseVA uint64
+	Mem    *ucx.Memory
+
+	// OnProcessed observes completed messages (benchmark hook).
+	OnProcessed func(d *Delivery, completed sim.Time)
+	// OnError observes handler failures.
+	OnError func(d *Delivery, err error)
+
+	creditEp  *ucx.Endpoint
+	creditVA  uint64
+	creditKey simnet.RKey
+
+	eng       *sim.Engine
+	nextSeq   uint32
+	busy      bool
+	started   bool
+	waitStart sim.Time
+	scratchVA uint64
+	stats     ReceiverStats
+}
+
+// NewReceiver allocates and registers the mailbox region on w's node and
+// hooks the NIC delivery path.
+func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, handler Handler) (*Receiver, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PagePerm == 0 {
+		cfg.PagePerm = mem.PermRWX
+	}
+	base, err := w.AS.AllocPages("mailboxes", cfg.Geometry.RegionSize(), cfg.PagePerm)
+	if err != nil {
+		return nil, err
+	}
+	m, err := w.RegisterMemory(base, cfg.Geometry.RegionSize(), simnet.RemoteWrite)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		Cfg:     cfg,
+		Worker:  w,
+		Counter: counter,
+		Handler: handler,
+		BaseVA:  base,
+		Mem:     m,
+		eng:     w.Ctx.Fabric.Engine,
+		nextSeq: 1,
+	}
+	w.NIC.SetDeliveryHook(func(va uint64, size int) { r.poke() })
+	return r, nil
+}
+
+// SetCreditReturn wires the credit path back to the sender: ep must be an
+// endpoint from this node to the sender, and (va, key) the sender's credit
+// flag array.
+func (r *Receiver) SetCreditReturn(ep *ucx.Endpoint, va uint64, key simnet.RKey) {
+	r.creditEp = ep
+	r.creditVA = va
+	r.creditKey = key
+}
+
+// Stats returns a copy of the counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Pending returns the sequence number the receiver is waiting for.
+func (r *Receiver) Pending() uint32 { return r.nextSeq }
+
+// Start arms the receive loop; the wait clock for the first message
+// starts now.
+func (r *Receiver) Start() {
+	r.started = true
+	r.waitStart = r.eng.Now()
+	r.poke()
+}
+
+func (r *Receiver) frameVA(seq uint32) uint64 {
+	_, _, off := r.Cfg.Geometry.SlotFor(seq)
+	return r.BaseVA + off
+}
+
+// poke checks whether the awaited frame is complete and starts service.
+// It is invoked by the NIC delivery hook and after each completed message.
+func (r *Receiver) poke() {
+	if !r.started || r.busy {
+		return
+	}
+	va := r.frameVA(r.nextSeq)
+	if !SigPresent(r.Worker.AS, va, r.Cfg.Geometry.FrameSize, r.nextSeq) {
+		return
+	}
+	// Signal observed: account the wait episode and wake up.
+	waited := r.eng.Now().Sub(r.waitStart)
+	var wake sim.Duration
+	if r.Counter != nil {
+		wake = r.Counter.Wait(r.Cfg.WaitMode, waited)
+	} else {
+		wake = model.PollDetectLat
+	}
+	r.busy = true
+	r.eng.After(wake, func() { r.service(va) })
+}
+
+// service parses, optionally patches, and executes the frame at va, then
+// advances to the next slot.
+func (r *Receiver) service(va uint64) {
+	now := r.eng.Now()
+	serviceCost := model.FrameParseOverhead
+	// Header and signal reads go through the cache hierarchy: this is
+	// where stashing first pays off.
+	if r.Worker.Hier != nil {
+		serviceCost += r.Worker.Hier.Access(va, HeaderSize, memsim.Read)
+		serviceCost += r.Worker.Hier.Access(va+uint64(r.Cfg.Geometry.FrameSize)-8, 8, memsim.Read)
+	}
+	if r.Cfg.VariableFrames {
+		// Second wait episode: header first, then the trailing signal.
+		if r.Counter != nil {
+			serviceCost += r.Counter.Wait(r.Cfg.WaitMode, 0)
+		} else {
+			serviceCost += model.PollDetectLat
+		}
+	}
+
+	d, err := ParseFrame(r.Worker.AS, va, r.Cfg.Geometry.FrameSize)
+	if err != nil {
+		r.fail(nil, fmt.Errorf("mailbox: receiver: %w", err), serviceCost)
+		return
+	}
+	if d.Seq != r.nextSeq {
+		r.fail(d, fmt.Errorf("mailbox: sequence mismatch: frame %d, expected %d", d.Seq, r.nextSeq), serviceCost)
+		return
+	}
+	if d.Kind == KindInjected && r.Cfg.InsertGp {
+		// Security mode: overwrite the travelling GOT pointer with the
+		// receiver-computed value instead of trusting the sender.
+		if err := r.Worker.AS.WriteU64(d.GpSlotVA, d.GotVA); err != nil {
+			r.fail(d, err, serviceCost)
+			return
+		}
+		serviceCost += model.GOTPatchPerEntry
+	}
+	serviceCost += model.HandlerDispatchLat
+
+	if d.Kind != KindData && r.Handler != nil {
+		execCost, err := r.Handler(d)
+		serviceCost += execCost
+		if err != nil {
+			r.fail(d, err, serviceCost)
+			return
+		}
+	}
+	if r.Counter != nil {
+		r.Counter.Work(serviceCost)
+	}
+	r.eng.After(serviceCost, func() { r.complete(d, now.Add(serviceCost)) })
+}
+
+// fail records an error, still consuming the frame so the loop advances.
+func (r *Receiver) fail(d *Delivery, err error, serviceCost sim.Duration) {
+	r.stats.Errors++
+	if r.OnError != nil {
+		r.OnError(d, err)
+	}
+	r.eng.After(serviceCost, func() { r.complete(d, r.eng.Now().Add(serviceCost)) })
+}
+
+func (r *Receiver) complete(d *Delivery, t sim.Time) {
+	r.stats.Processed++
+	seq := r.nextSeq
+	bank, slot, _ := r.Cfg.Geometry.SlotFor(seq)
+	r.nextSeq++
+	r.busy = false
+
+	if r.Cfg.Credits && slot == r.Cfg.Geometry.Slots-1 && r.creditEp != nil {
+		// Bank drained: return its credit to the sender.
+		r.stats.CreditsSent++
+		flagVA := r.creditVA + uint64(bank*8)
+		one := [8]byte{1}
+		if err := r.Worker.AS.WriteBytes(r.scratch(), one[:]); err == nil {
+			r.creditEp.PutThin(r.scratch(), flagVA, 8, r.creditKey, nil)
+		}
+	}
+	if r.OnProcessed != nil && d != nil {
+		r.OnProcessed(d, t)
+	}
+	// Immediately serve the next frame if it already arrived; otherwise
+	// re-arm the wait clock.
+	r.waitStart = r.eng.Now()
+	r.poke()
+}
+
+// scratch returns an 8-byte staging location for credit puts (the first
+// bytes of the mailbox region are never a frame signal, but to stay clean
+// we allocate a dedicated slot lazily).
+func (r *Receiver) scratch() uint64 {
+	if r.scratchVA == 0 {
+		va, err := r.Worker.AS.Alloc("mailbox-credit-scratch", 8, 8, mem.PermRW)
+		if err != nil {
+			// Fall back to the region base; this is diagnostic-only state.
+			va = r.BaseVA
+		}
+		r.scratchVA = va
+	}
+	return r.scratchVA
+}

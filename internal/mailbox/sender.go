@@ -1,0 +1,255 @@
+package mailbox
+
+import (
+	"encoding/binary"
+
+	"twochains/internal/cpusim"
+	"twochains/internal/mem"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+	"twochains/internal/simnet"
+	"twochains/internal/ucx"
+)
+
+// SenderConfig selects the send-side protocol.
+type SenderConfig struct {
+	Geometry Geometry
+	// Credits enables the bank-flag flow control (paper §VI-A2): one flag
+	// per remote bank, reset when the sender starts filling the bank, set
+	// by the receiver when it drains the bank.
+	Credits bool
+	// WaitMode governs cycle accounting while waiting for credits.
+	WaitMode cpusim.WaitMode
+	// SeparateSignal sends the frame body and the 8-byte signal trailer
+	// as two puts with a fence between them — required on fabrics without
+	// the write-order guarantee (paper Fig. 1).
+	SeparateSignal bool
+}
+
+// SendInfo reports completion of one message.
+type SendInfo struct {
+	Seq       uint32
+	Err       error
+	Delivered sim.Time // receiver-side arrival of the signal
+}
+
+// SenderStats counts send-side activity.
+type SenderStats struct {
+	Sent         uint64
+	CreditStalls uint64
+}
+
+// Sender streams frames into a remote mailbox region.
+type Sender struct {
+	Cfg     SenderConfig
+	Worker  *ucx.Worker
+	Ep      *ucx.Endpoint
+	Counter *cpusim.Counter
+
+	RemoteBase uint64
+	RemoteKey  simnet.RKey
+
+	// Credit flag array (one u64 per bank) in the sender's memory,
+	// remotely writable by the receiver.
+	CreditVA  uint64
+	CreditMem *ucx.Memory
+
+	eng     *sim.Engine
+	staging uint64
+	seq     uint32
+	stalled []queuedSend
+	stallAt sim.Time
+	stats   SenderStats
+}
+
+type queuedSend struct {
+	msg  *Message
+	done func(SendInfo)
+}
+
+// NewSender builds a sender on w targeting the remote mailbox region
+// (base, key) through ep. The remote region must use the same geometry.
+func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uint64, remoteKey simnet.RKey, counter *cpusim.Counter) (*Sender, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	staging, err := w.AS.AllocPages("mailbox-staging", cfg.Geometry.RegionSize(), mem.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		Cfg:        cfg,
+		Worker:     w,
+		Ep:         ep,
+		Counter:    counter,
+		RemoteBase: remoteBase,
+		RemoteKey:  remoteKey,
+		eng:        w.Ctx.Fabric.Engine,
+		staging:    staging,
+		seq:        1,
+	}
+	if cfg.Credits {
+		va, err := w.AS.Alloc("mailbox-credits", cfg.Geometry.Banks*8, 8, mem.PermRW)
+		if err != nil {
+			return nil, err
+		}
+		s.CreditVA = va
+		creditMem, err := w.RegisterMemory(va, cfg.Geometry.Banks*8, simnet.RemoteWrite)
+		if err != nil {
+			return nil, err
+		}
+		s.CreditMem = creditMem
+		// All banks start available.
+		for b := 0; b < cfg.Geometry.Banks; b++ {
+			if err := w.AS.WriteU64(va+uint64(b*8), 1); err != nil {
+				return nil, err
+			}
+		}
+		// Resume stalled sends when the receiver returns a credit.
+		w.NIC.SetDeliveryHook(func(dva uint64, size int) {
+			if dva >= va && dva < va+uint64(cfg.Geometry.Banks*8) {
+				s.drain()
+			}
+		})
+	}
+	return s, nil
+}
+
+// Stats returns a copy of the counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// NextSeq returns the sequence number the next Send will use.
+func (s *Sender) NextSeq() uint32 { return s.seq }
+
+// Send packs and transmits msg to the next mailbox slot. If the target
+// bank's credit is not available the send queues until the receiver
+// returns the bank flag. done fires when the frame (and its signal) has
+// been delivered remotely.
+func (s *Sender) Send(msg *Message, done func(SendInfo)) {
+	if len(s.stalled) > 0 {
+		s.stalled = append(s.stalled, queuedSend{msg, done})
+		return
+	}
+	s.trySend(msg, done)
+}
+
+func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
+	g := s.Cfg.Geometry
+	seq := s.seq
+	bank, slot, off := g.SlotFor(seq)
+
+	if s.Cfg.Credits && slot == 0 {
+		flagVA := s.CreditVA + uint64(bank*8)
+		flag, err := s.Worker.AS.ReadU64(flagVA)
+		if err != nil {
+			s.finish(done, SendInfo{Seq: seq, Err: err})
+			return
+		}
+		if flag == 0 {
+			// Bank still owned by the receiver: stall until the credit
+			// returns. Waiting costs cycles like any signal wait.
+			if len(s.stalled) == 0 {
+				s.stallAt = s.eng.Now()
+				s.stats.CreditStalls++
+			}
+			s.stalled = append(s.stalled, queuedSend{msg, done})
+			return
+		}
+		// Claim the bank.
+		if err := s.Worker.AS.WriteU64(flagVA, 0); err != nil {
+			s.finish(done, SendInfo{Seq: seq, Err: err})
+			return
+		}
+	}
+	s.seq++
+
+	frameSize := g.FrameSize
+	stagingVA := s.staging + off
+	dstVA := s.RemoteBase + off
+
+	buf, err := s.Worker.AS.View(stagingVA, frameSize)
+	if err != nil {
+		s.finish(done, SendInfo{Seq: seq, Err: err})
+		return
+	}
+	if err := msg.Pack(buf, frameSize, seq, dstVA); err != nil {
+		s.finish(done, SendInfo{Seq: seq, Err: err})
+		return
+	}
+	s.stats.Sent++
+
+	// GOT patching cost: one entry per travelling slot plus the pointer.
+	if msg.Kind == KindInjected {
+		entries := msg.GotTableLen/8 + 1
+		patch := sim.Duration(entries) * model.GOTPatchPerEntry
+		s.Worker.CPU.Claim(s.eng.Now(), patch)
+		if s.Counter != nil {
+			s.Counter.Work(patch)
+		}
+	}
+
+	report := func(err error, t sim.Time) {
+		s.finish(done, SendInfo{Seq: seq, Err: err, Delivered: t})
+	}
+	if s.Cfg.SeparateSignal {
+		// Body first (without trailer), fence, then the signal put: the
+		// protocol for fabrics with no write-order guarantee.
+		bodyLen := frameSize - SigSize
+		s.Ep.PutThinFenced(stagingVA, dstVA, bodyLen, SigSize, s.RemoteKey, report)
+	} else {
+		// Ordered fabric, fixed frames: the entire message in one put.
+		s.Ep.PutThin(stagingVA, dstVA, frameSize, s.RemoteKey, report)
+	}
+}
+
+func (s *Sender) finish(done func(SendInfo), info SendInfo) {
+	if done != nil {
+		done(info)
+	}
+}
+
+// drain retries stalled sends after a credit arrives.
+func (s *Sender) drain() {
+	if len(s.stalled) == 0 {
+		return
+	}
+	if s.Counter != nil {
+		s.Counter.Wait(s.Cfg.WaitMode, s.eng.Now().Sub(s.stallAt))
+	}
+	pending := s.stalled
+	s.stalled = nil
+	for i, q := range pending {
+		s.trySend(q.msg, q.done)
+		if len(s.stalled) > 0 {
+			// trySend re-stalled on the next bank boundary; keep the
+			// remainder queued in order behind it.
+			s.stalled = append(s.stalled, pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// PackLocal is a convenience constructing a Local Function message.
+func PackLocal(pkgID, elemID uint8, args [2]uint64, usr []byte) *Message {
+	return &Message{Kind: KindLocal, PkgID: pkgID, ElemID: elemID, Args: args, Usr: usr}
+}
+
+// PackData constructs a delivery-only message (without-execution mode).
+func PackData(usr []byte) *Message {
+	return &Message{Kind: KindData, Usr: usr}
+}
+
+// ReadUsr copies the user payload of a delivery (test/diagnostic helper).
+func ReadUsr(as *mem.AddressSpace, d *Delivery) ([]byte, error) {
+	return as.ReadBytesDMA(d.UsrVA, d.UsrLen)
+}
+
+// ReadArg reads argument i of a delivery without a Delivery method
+// receiver (kept for symmetry with ReadUsr).
+func ReadArg(as *mem.AddressSpace, d *Delivery, i int) (uint64, error) {
+	raw, err := as.ReadBytesDMA(d.ArgsVA+uint64(i*8), 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(raw), nil
+}

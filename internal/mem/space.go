@@ -1,0 +1,381 @@
+// Package mem provides simulated process address spaces: flat 64-bit
+// virtual addresses backed by a byte array, with page-granular R/W/X
+// permissions and a region allocator.
+//
+// Every node in the simulated cluster owns one AddressSpace. Loaded
+// libraries, mailbox frames, heaps and stacks are regions inside it, so a
+// virtual address is meaningful only within its node — exactly the problem
+// the paper's remote-linking mechanism exists to solve.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the permission granularity.
+const PageSize = 4096
+
+// Base is the lowest mapped virtual address; everything below faults,
+// catching null and small-integer dereferences.
+const Base uint64 = 0x10000
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+func (p Perm) String() string {
+	s := [3]byte{'-', '-', '-'}
+	if p&PermR != 0 {
+		s[0] = 'r'
+	}
+	if p&PermW != 0 {
+		s[1] = 'w'
+	}
+	if p&PermX != 0 {
+		s[2] = 'x'
+	}
+	return string(s[:])
+}
+
+// AccessKind labels the operation that faulted.
+type AccessKind int
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "?"
+}
+
+// Fault is a memory access violation.
+type Fault struct {
+	Addr uint64
+	Size int
+	Kind AccessKind
+	Perm Perm // permissions of the page, if mapped
+	OOB  bool // address outside the mapped range
+}
+
+func (f *Fault) Error() string {
+	if f.OOB {
+		return fmt.Sprintf("mem: %s fault at 0x%x (%d bytes): unmapped", f.Kind, f.Addr, f.Size)
+	}
+	return fmt.Sprintf("mem: %s fault at 0x%x (%d bytes): page is %s", f.Kind, f.Addr, f.Size, f.Perm)
+}
+
+// Region records an allocation for diagnostics.
+type Region struct {
+	Name string
+	Addr uint64
+	Size int
+	Perm Perm
+}
+
+// AddressSpace is one simulated process image.
+type AddressSpace struct {
+	data    []byte
+	perms   []Perm // one per page
+	brk     uint64 // next free address (bump allocator)
+	regions []Region
+}
+
+// NewAddressSpace creates a space with the given capacity in bytes
+// (rounded up to a page).
+func NewAddressSpace(capacity int) *AddressSpace {
+	pages := (capacity + PageSize - 1) / PageSize
+	return &AddressSpace{
+		data:  make([]byte, pages*PageSize),
+		perms: make([]Perm, pages),
+		brk:   Base,
+	}
+}
+
+// Size returns the mapped capacity in bytes.
+func (as *AddressSpace) Size() int { return len(as.data) }
+
+// End returns one past the highest usable VA.
+func (as *AddressSpace) End() uint64 { return Base + uint64(len(as.data)) }
+
+func (as *AddressSpace) index(va uint64) (int, bool) {
+	if va < Base {
+		return 0, false
+	}
+	i := va - Base
+	if i >= uint64(len(as.data)) {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Alloc reserves size bytes aligned to align with the given permissions and
+// returns the base VA. Named regions appear in Regions() for diagnostics.
+func (as *AddressSpace) Alloc(name string, size, align int, perm Perm) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("mem: Alloc %q: non-positive size %d", name, size)
+	}
+	if align <= 0 {
+		align = 8
+	}
+	va := (as.brk + uint64(align) - 1) / uint64(align) * uint64(align)
+	if _, ok := as.index(va + uint64(size) - 1); !ok {
+		return 0, fmt.Errorf("mem: Alloc %q: out of address space (%d bytes requested, brk=0x%x, cap=%d)",
+			name, size, as.brk, len(as.data))
+	}
+	as.brk = va + uint64(size)
+	as.setPerm(va, size, perm)
+	as.regions = append(as.regions, Region{Name: name, Addr: va, Size: size, Perm: perm})
+	return va, nil
+}
+
+// AllocPages is Alloc with page alignment and page-rounded size, for
+// regions whose permissions must not interfere with neighbours (mailboxes,
+// code segments).
+func (as *AddressSpace) AllocPages(name string, size int, perm Perm) (uint64, error) {
+	size = (size + PageSize - 1) / PageSize * PageSize
+	return as.Alloc(name, size, PageSize, perm)
+}
+
+func (as *AddressSpace) setPerm(va uint64, size int, perm Perm) {
+	first := (va - Base) / PageSize
+	last := (va - Base + uint64(size) - 1) / PageSize
+	for p := first; p <= last; p++ {
+		as.perms[p] = perm
+	}
+}
+
+// Protect changes the permissions of all pages overlapping [va, va+size).
+func (as *AddressSpace) Protect(va uint64, size int, perm Perm) error {
+	if _, ok := as.index(va); !ok {
+		return &Fault{Addr: va, Size: size, Kind: AccessWrite, OOB: true}
+	}
+	if _, ok := as.index(va + uint64(size) - 1); !ok {
+		return &Fault{Addr: va + uint64(size) - 1, Size: size, Kind: AccessWrite, OOB: true}
+	}
+	as.setPerm(va, size, perm)
+	return nil
+}
+
+// PermAt returns the permissions of the page containing va.
+func (as *AddressSpace) PermAt(va uint64) (Perm, bool) {
+	i, ok := as.index(va)
+	if !ok {
+		return 0, false
+	}
+	return as.perms[i/PageSize], true
+}
+
+// Regions returns the named allocations.
+func (as *AddressSpace) Regions() []Region {
+	out := make([]Region, len(as.regions))
+	copy(out, as.regions)
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// RegionFor returns the region containing va, for diagnostics.
+func (as *AddressSpace) RegionFor(va uint64) (Region, bool) {
+	for _, r := range as.regions {
+		if va >= r.Addr && va < r.Addr+uint64(r.Size) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// check verifies an access, returning a Fault on violation.
+func (as *AddressSpace) check(va uint64, size int, kind AccessKind) error {
+	i, ok := as.index(va)
+	if !ok {
+		return &Fault{Addr: va, Size: size, Kind: kind, OOB: true}
+	}
+	if size <= 0 {
+		return nil
+	}
+	if _, ok := as.index(va + uint64(size) - 1); !ok {
+		return &Fault{Addr: va, Size: size, Kind: kind, OOB: true}
+	}
+	var want Perm
+	switch kind {
+	case AccessRead:
+		want = PermR
+	case AccessWrite:
+		want = PermW
+	case AccessExec:
+		want = PermX
+	}
+	first := i / PageSize
+	last := (i + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if as.perms[p]&want == 0 {
+			return &Fault{Addr: va, Size: size, Kind: kind, Perm: as.perms[p]}
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies size bytes at va into a fresh slice.
+func (as *AddressSpace) ReadBytes(va uint64, size int) ([]byte, error) {
+	if err := as.check(va, size, AccessRead); err != nil {
+		return nil, err
+	}
+	i, _ := as.index(va)
+	out := make([]byte, size)
+	copy(out, as.data[i:i+size])
+	return out, nil
+}
+
+// View returns a slice aliasing the underlying storage for [va, va+size).
+// Callers must treat it as ephemeral; it is used by the NIC DMA path and
+// the VM fetch path to avoid copying.
+func (as *AddressSpace) View(va uint64, size int) ([]byte, error) {
+	if err := as.check(va, size, AccessRead); err != nil {
+		return nil, err
+	}
+	i, _ := as.index(va)
+	return as.data[i : i+size : i+size], nil
+}
+
+// WriteBytes stores b at va, honouring page permissions.
+func (as *AddressSpace) WriteBytes(va uint64, b []byte) error {
+	if err := as.check(va, len(b), AccessWrite); err != nil {
+		return err
+	}
+	i, _ := as.index(va)
+	copy(as.data[i:], b)
+	return nil
+}
+
+// WriteBytesDMA stores b at va ignoring page permissions, as a NIC's DMA
+// engine does: RDMA access control is the rkey check, performed by the
+// simnet layer before delivery, not the CPU page tables.
+func (as *AddressSpace) WriteBytesDMA(va uint64, b []byte) error {
+	i, ok := as.index(va)
+	if !ok || i+len(b) > len(as.data) {
+		return &Fault{Addr: va, Size: len(b), Kind: AccessWrite, OOB: true}
+	}
+	copy(as.data[i:], b)
+	return nil
+}
+
+// ReadBytesDMA reads ignoring page permissions (RDMA read path).
+func (as *AddressSpace) ReadBytesDMA(va uint64, size int) ([]byte, error) {
+	i, ok := as.index(va)
+	if !ok || i+size > len(as.data) {
+		return nil, &Fault{Addr: va, Size: size, Kind: AccessRead, OOB: true}
+	}
+	out := make([]byte, size)
+	copy(out, as.data[i:i+size])
+	return out, nil
+}
+
+// Typed accessors. All are little-endian, matching the JAM encoding.
+
+func (as *AddressSpace) ReadU8(va uint64) (uint64, error) {
+	if err := as.check(va, 1, AccessRead); err != nil {
+		return 0, err
+	}
+	i, _ := as.index(va)
+	return uint64(as.data[i]), nil
+}
+
+func (as *AddressSpace) ReadU16(va uint64) (uint64, error) {
+	if err := as.check(va, 2, AccessRead); err != nil {
+		return 0, err
+	}
+	i, _ := as.index(va)
+	return uint64(binary.LittleEndian.Uint16(as.data[i:])), nil
+}
+
+func (as *AddressSpace) ReadU32(va uint64) (uint64, error) {
+	if err := as.check(va, 4, AccessRead); err != nil {
+		return 0, err
+	}
+	i, _ := as.index(va)
+	return uint64(binary.LittleEndian.Uint32(as.data[i:])), nil
+}
+
+func (as *AddressSpace) ReadU64(va uint64) (uint64, error) {
+	if err := as.check(va, 8, AccessRead); err != nil {
+		return 0, err
+	}
+	i, _ := as.index(va)
+	return binary.LittleEndian.Uint64(as.data[i:]), nil
+}
+
+func (as *AddressSpace) WriteU8(va uint64, v uint64) error {
+	if err := as.check(va, 1, AccessWrite); err != nil {
+		return err
+	}
+	i, _ := as.index(va)
+	as.data[i] = byte(v)
+	return nil
+}
+
+func (as *AddressSpace) WriteU16(va uint64, v uint64) error {
+	if err := as.check(va, 2, AccessWrite); err != nil {
+		return err
+	}
+	i, _ := as.index(va)
+	binary.LittleEndian.PutUint16(as.data[i:], uint16(v))
+	return nil
+}
+
+func (as *AddressSpace) WriteU32(va uint64, v uint64) error {
+	if err := as.check(va, 4, AccessWrite); err != nil {
+		return err
+	}
+	i, _ := as.index(va)
+	binary.LittleEndian.PutUint32(as.data[i:], uint32(v))
+	return nil
+}
+
+func (as *AddressSpace) WriteU64(va uint64, v uint64) error {
+	if err := as.check(va, 8, AccessWrite); err != nil {
+		return err
+	}
+	i, _ := as.index(va)
+	binary.LittleEndian.PutUint64(as.data[i:], v)
+	return nil
+}
+
+// FetchCheck verifies that [va, va+size) is executable.
+func (as *AddressSpace) FetchCheck(va uint64, size int) error {
+	return as.check(va, size, AccessExec)
+}
+
+// ReadCString reads a NUL-terminated string starting at va, up to max bytes.
+func (as *AddressSpace) ReadCString(va uint64, max int) (string, error) {
+	out := make([]byte, 0, 32)
+	for n := 0; n < max; n++ {
+		b, err := as.ReadU8(va + uint64(n))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return string(out), fmt.Errorf("mem: unterminated string at 0x%x", va)
+}

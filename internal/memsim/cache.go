@@ -1,0 +1,119 @@
+// Package memsim models the testbed memory system of the Two-Chains paper:
+// a 1 MB per-core L2, a 1 MB per-cluster L3, an 8 MB shared LLC, and
+// DDR4-2666 DRAM, with three features the evaluation depends on:
+//
+//   - LLC stashing: traffic arriving from the network can be written
+//     directly into the last-level cache instead of DRAM (paper §VI-C);
+//   - a stride prefetcher that hides DRAM latency for streaming reads,
+//     which narrows the stash advantage at large message sizes (Fig. 9);
+//   - a stress mode reproducing `stress-ng --class vm` interference for the
+//     tail-latency experiments (Fig. 11/12).
+//
+// The model is functional about *placement* (real set-associative tag
+// arrays with LRU replacement decide where each line lives) and analytic
+// about *time* (per-line costs from internal/model).
+package memsim
+
+// A cache is a set-associative tag array with per-set LRU replacement.
+// Only tags are modelled; data always lives in the node's address space.
+type cache struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways entries; line address + 1 (0 = invalid)
+	lru   []uint32 // per-entry last-use stamps
+	stamp uint32
+}
+
+func newCache(sizeBytes, ways, lineSize int) *cache {
+	lines := sizeBytes / lineSize
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, sets*ways),
+		lru:  make([]uint32, sets*ways),
+	}
+}
+
+func (c *cache) setFor(line uint64) int { return int(line % uint64(c.sets)) }
+
+// lookup reports whether line is present, updating recency on hit.
+func (c *cache) lookup(line uint64) bool {
+	base := c.setFor(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line+1 {
+			c.stamp++
+			c.lru[base+w] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line in the cache, evicting the LRU way if needed.
+// It returns the evicted line address and whether an eviction happened.
+func (c *cache) insert(line uint64) (evicted uint64, wasEvicted bool) {
+	base := c.setFor(line) * c.ways
+	c.stamp++
+	// Already present: refresh.
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line+1 {
+			c.lru[base+w] = c.stamp
+			return 0, false
+		}
+	}
+	// Free way.
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			c.tags[base+w] = line + 1
+			c.lru[base+w] = c.stamp
+			return 0, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[base+w] < c.lru[base+victim] {
+			victim = w
+		}
+	}
+	evicted = c.tags[base+victim] - 1
+	c.tags[base+victim] = line + 1
+	c.lru[base+victim] = c.stamp
+	return evicted, true
+}
+
+// invalidate removes line if present, reporting whether it was there.
+func (c *cache) invalidate(line uint64) bool {
+	base := c.setFor(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line+1 {
+			c.tags[base+w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// reset clears all tags.
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+}
+
+// occupancy returns the number of valid lines (for tests).
+func (c *cache) occupancy() int {
+	n := 0
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package perf
+
+import (
+	"fmt"
+)
+
+// Ablations cover the design choices DESIGN.md calls out: frame sizing,
+// ordering guarantees, GOT insertion policy, the injected-to-local
+// auto-switch, and mailbox bank geometry.
+func registerAblations() {
+	register("ablate-frames", "fixed vs variable frame size (extra signal wait)", ablateFrames)
+	register("ablate-order", "ordered fabric vs fence + separate signal put", ablateOrder)
+	register("ablate-got", "sender-set GOT pointer vs receiver insertion (§V)", ablateGot)
+	register("ablate-autoswitch", "auto-switch injected->local on re-injection (§VIII)", ablateAutoswitch)
+	register("ablate-banks", "bank/mailbox geometry for injection rate", ablateBanks)
+	register("ablate-secexec", "RWX mailbox vs SecureExec copy-before-run (§V)", ablateSecExec)
+}
+
+func ablateFrames(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-frames",
+		Title: "Indirect Put latency: fixed-size vs variable-size frames",
+		Cols:  []string{"ints", "fixed(us)", "variable(us)", "penalty(%)"},
+	}
+	for _, n := range []int{1, 16, 256, 4096} {
+		w, it := latencyIters(o, 300, 4*n)
+		mk := func(variable bool) RunConfig {
+			cfg := DefaultRunConfig()
+			cfg.Warmup, cfg.Iters = w, it
+			cfg.Kind = WkInjected
+			cfg.Elem = "jam_iput"
+			cfg.PayloadBytes = 4 * n
+			cfg.VariableFrames = variable
+			return cfg
+		}
+		fixed, err := PingPong(mk(false))
+		if err != nil {
+			return nil, err
+		}
+		variable, err := PingPong(mk(true))
+		if err != nil {
+			return nil, err
+		}
+		f, v := fixed.Samples.Median(), variable.Samples.Median()
+		t.AddRow(fmt.Sprint(n), FmtUs(f), FmtUs(v),
+			fmt.Sprintf("%.1f", PercentDelta(float64(f), float64(v))))
+	}
+	t.Note("variable frames wait on the header, then on the trailing signal (paper Fig. 1)")
+	return t, nil
+}
+
+func ablateOrder(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-order",
+		Title: "Indirect Put latency: write-order guarantee vs fence + separate signal put",
+		Cols:  []string{"ints", "ordered(us)", "fenced(us)", "penalty(%)"},
+	}
+	for _, n := range []int{1, 16, 256, 4096} {
+		w, it := latencyIters(o, 300, 4*n)
+		mk := func(ordered bool) RunConfig {
+			cfg := DefaultRunConfig()
+			cfg.Warmup, cfg.Iters = w, it
+			cfg.Kind = WkInjected
+			cfg.Elem = "jam_iput"
+			cfg.PayloadBytes = 4 * n
+			cfg.Ordered = ordered
+			cfg.SeparateSignal = !ordered
+			return cfg
+		}
+		ord, err := PingPong(mk(true))
+		if err != nil {
+			return nil, err
+		}
+		fenced, err := PingPong(mk(false))
+		if err != nil {
+			return nil, err
+		}
+		a, b := ord.Samples.Median(), fenced.Samples.Median()
+		t.AddRow(fmt.Sprint(n), FmtUs(a), FmtUs(b),
+			fmt.Sprintf("%.1f", PercentDelta(float64(a), float64(b))))
+	}
+	t.Note("without the hardware guarantee each message needs a fence and a second put")
+	return t, nil
+}
+
+func ablateGot(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-got",
+		Title: "Indirect Put latency: sender-set GOT pointer vs receiver insertion",
+		Cols:  []string{"ints", "sender(us)", "receiver(us)", "penalty(%)"},
+	}
+	for _, n := range []int{1, 64, 1024} {
+		w, it := latencyIters(o, 300, 4*n)
+		mk := func(insert bool) RunConfig {
+			cfg := DefaultRunConfig()
+			cfg.Warmup, cfg.Iters = w, it
+			cfg.Kind = WkInjected
+			cfg.Elem = "jam_iput"
+			cfg.PayloadBytes = 4 * n
+			cfg.InsertGp = insert
+			return cfg
+		}
+		snd, err := PingPong(mk(false))
+		if err != nil {
+			return nil, err
+		}
+		rcv, err := PingPong(mk(true))
+		if err != nil {
+			return nil, err
+		}
+		a, b := snd.Samples.Median(), rcv.Samples.Median()
+		t.AddRow(fmt.Sprint(n), FmtUs(a), FmtUs(b),
+			fmt.Sprintf("%.1f", PercentDelta(float64(a), float64(b))))
+	}
+	t.Note("receiver insertion defeats GOT-pointer spoofing at one extra patch per arrival")
+	return t, nil
+}
+
+func ablateAutoswitch(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-autoswitch",
+		Title: "Injection rate: always-inject vs auto-switch to local after 16 sends",
+		Cols:  []string{"ints", "inject(msg/s)", "autoswitch(msg/s)", "gain(%)"},
+	}
+	for _, n := range []int{1, 64, 1024} {
+		cfg := DefaultRunConfig()
+		cfg.Warmup, cfg.Iters = o.warmup(300), o.iters(1500)
+		cfg.Kind = WkInjected
+		cfg.Elem = "jam_iput"
+		cfg.PayloadBytes = 4 * n
+		always, err := InjectionRate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.AutoSwitchAfter = 16
+		sw, err := InjectionRate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(n), FmtRate(always.Rate), FmtRate(sw.Rate),
+			fmt.Sprintf("%.1f", PercentDelta(always.Rate, sw.Rate)))
+	}
+	t.Note("the §VIII future-work feature: reoccurring functions stop shipping their code")
+	return t, nil
+}
+
+func ablateBanks(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-banks",
+		Title: "Injection rate vs mailbox geometry (64B local frames)",
+		Cols:  []string{"banks", "slots", "rate(msg/s)"},
+	}
+	for _, geom := range [][2]int{{1, 1}, {1, 8}, {2, 4}, {4, 8}, {4, 32}, {8, 64}} {
+		cfg := DefaultRunConfig()
+		cfg.Warmup, cfg.Iters = o.warmup(300), o.iters(2000)
+		cfg.Kind = WkLocal
+		cfg.Elem = "jam_sssum"
+		cfg.PayloadBytes = 4
+		cfg.Banks, cfg.Slots = geom[0], geom[1]
+		res, err := InjectionRate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(geom[0]), fmt.Sprint(geom[1]), FmtRate(res.Rate))
+	}
+	t.Note("few slots stall the sender on credit returns; deep banks hide the round trip")
+	return t, nil
+}
+
+func ablateSecExec(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "ablate-secexec",
+		Title: "Indirect Put latency: execute-in-mailbox vs copy to private X page",
+		Cols:  []string{"ints", "rwx(us)", "secexec(us)", "penalty(%)"},
+	}
+	for _, n := range []int{1, 64, 1024} {
+		w, it := latencyIters(o, 300, 4*n)
+		mk := func(sec bool) RunConfig {
+			cfg := DefaultRunConfig()
+			cfg.Warmup, cfg.Iters = w, it
+			cfg.Kind = WkInjected
+			cfg.Elem = "jam_iput"
+			cfg.PayloadBytes = 4 * n
+			cfg.NodeCfg.SecureExec = sec
+			return cfg
+		}
+		rwx, err := PingPong(mk(false))
+		if err != nil {
+			return nil, err
+		}
+		sec, err := PingPong(mk(true))
+		if err != nil {
+			return nil, err
+		}
+		a, b := rwx.Samples.Median(), sec.Samples.Median()
+		t.AddRow(fmt.Sprint(n), FmtUs(a), FmtUs(b),
+			fmt.Sprintf("%.1f", PercentDelta(float64(a), float64(b))))
+	}
+	t.Note("the paper's §V separation of code pages from writable mailbox data")
+	return t, nil
+}

@@ -1,0 +1,10 @@
+package perf
+
+import (
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+// pollDetect is the baseline receiver's signal-detection granularity: the
+// coherence delay between the NIC write and the polling core observing it.
+func pollDetect() sim.Duration { return model.PollDetectLat }

@@ -1,0 +1,428 @@
+package perf
+
+import (
+	"fmt"
+
+	"twochains/internal/core"
+	"twochains/internal/cpusim"
+	"twochains/internal/mailbox"
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/sim"
+	"twochains/internal/simnet"
+)
+
+// WorkloadKind selects the message type a driver sends.
+type WorkloadKind int
+
+const (
+	WkData     WorkloadKind = iota // without-execution delivery
+	WkLocal                        // Local Function invocation
+	WkInjected                     // Injected Function invocation
+)
+
+// RunConfig parameterizes one benchmark run (one point of one figure).
+type RunConfig struct {
+	Elem         string // jam name for Local/Injected workloads
+	Kind         WorkloadKind
+	PayloadBytes int
+	Warmup       int
+	Iters        int
+
+	NodeCfg  core.NodeConfig
+	WaitMode cpusim.WaitMode
+	Stress   bool
+	Ordered  bool
+
+	// Mailbox protocol options (ablations).
+	VariableFrames bool
+	SeparateSignal bool
+	InsertGp       bool
+
+	// Injection-rate geometry (banks x mailboxes per bank).
+	Banks, Slots int
+
+	AutoSwitchAfter int
+
+	// KeyFn provides the Indirect Put key per iteration (nonzero).
+	KeyFn func(i int) uint64
+}
+
+// DefaultRunConfig fills the paper-testbed defaults.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Warmup:  50,
+		Iters:   400,
+		NodeCfg: core.DefaultNodeConfig(),
+		Ordered: true,
+		Banks:   4,
+		Slots:   8,
+		KeyFn:   func(i int) uint64 { return uint64(i%30000) + 1 },
+	}
+}
+
+// RunResult carries a driver's measurements.
+type RunResult struct {
+	Samples   Samples // per-iteration one-way latency (ping-pong driver)
+	Rate      float64 // messages/second (injection-rate driver)
+	Bandwidth float64 // payload bytes/second
+	CyclesA   float64 // total CPU cycles on the initiator over the run
+	CyclesB   float64 // total CPU cycles on the target over the run
+	FrameSize int
+	Errors    int
+}
+
+// rig is a fully provisioned two-node Two-Chains deployment.
+type rig struct {
+	cl       *core.Cluster
+	a, b     *core.Node
+	ab, ba   *core.Channel
+	frame    int
+	cfg      RunConfig
+	payload  []byte
+	errCount int
+}
+
+// message builds the benchmark message template to size frames.
+func benchMessage(cfg RunConfig, pkg *core.Package, payload []byte) (*mailbox.Message, error) {
+	switch cfg.Kind {
+	case WkData:
+		return mailbox.PackData(payload), nil
+	case WkLocal:
+		return mailbox.PackLocal(1, 1, [2]uint64{}, payload), nil
+	case WkInjected:
+		elem, ok := pkg.Element(cfg.Elem)
+		if !ok || elem.Kind != core.ElemJam {
+			return nil, fmt.Errorf("perf: no jam %q", cfg.Elem)
+		}
+		return &mailbox.Message{
+			Kind:     mailbox.KindInjected,
+			JamImage: make([]byte, elem.Jam.ShippedSize()),
+			Usr:      payload,
+		}, nil
+	}
+	return nil, fmt.Errorf("perf: unknown workload kind %d", cfg.Kind)
+}
+
+// buildRig provisions the cluster, packages, mailboxes and channels for a
+// run. geometry selects the mailbox shape per direction.
+func buildRig(cfg RunConfig, geom mailbox.Geometry, credits bool) (*rig, error) {
+	pkg, err := core.BuildBenchPackage()
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	tmpl, err := benchMessage(cfg, pkg, payload)
+	if err != nil {
+		return nil, err
+	}
+	if geom.FrameSize == 0 {
+		geom.FrameSize = tmpl.WireLen()
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+
+	cl := core.NewCluster(core.ClusterConfig{Ordered: cfg.Ordered, Seed: cfg.NodeCfg.Seed})
+	cfgA, cfgB := cfg.NodeCfg, cfg.NodeCfg
+	cfgB.Seed ^= 0x5a5a
+	a, err := cl.AddNode("initiator", cfgA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := cl.AddNode("target", cfgB)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []*core.Node{a, b} {
+		if _, err := n.InstallPackage(pkg); err != nil {
+			return nil, err
+		}
+		rcfg := mailbox.DefaultReceiverConfig(geom)
+		rcfg.WaitMode = cfg.WaitMode
+		rcfg.Credits = credits
+		rcfg.VariableFrames = cfg.VariableFrames
+		rcfg.InsertGp = cfg.InsertGp
+		if err := n.EnableMailbox(rcfg); err != nil {
+			return nil, err
+		}
+		n.SetStress(cfg.Stress)
+	}
+	chOpts := core.ChannelOptions{
+		Sender: mailbox.SenderConfig{
+			Geometry:       geom,
+			WaitMode:       cfg.WaitMode,
+			SeparateSignal: cfg.SeparateSignal,
+		},
+		AutoSwitchAfter: cfg.AutoSwitchAfter,
+	}
+	ab, err := core.Connect(a, b, chOpts)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := core.Connect(b, a, chOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{cl: cl, a: a, b: b, ab: ab, ba: ba, frame: geom.FrameSize, cfg: cfg, payload: payload}, nil
+}
+
+// send issues one benchmark message on ch.
+func (r *rig) send(ch *core.Channel, i int) error {
+	switch r.cfg.Kind {
+	case WkData:
+		ch.SendData(r.payload, nil)
+		return nil
+	case WkLocal:
+		return ch.CallLocal("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
+	default:
+		return ch.Inject("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
+	}
+}
+
+// PingPong runs the latency shape of §VI-A1: one message at a time bounces
+// between the hosts, executing on each arrival; the sample is the half
+// round-trip time.
+func PingPong(cfg RunConfig) (*RunResult, error) {
+	geom := mailbox.Geometry{Banks: 1, Slots: 1}
+	r, err := buildRig(cfg, geom, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{FrameSize: r.frame}
+
+	total := cfg.Warmup + cfg.Iters
+	iter := 0
+	var t0 sim.Time
+	countErr := func(d *mailbox.Delivery, err error) { res.Errors++ }
+	r.a.Receiver.OnError = countErr
+	r.b.Receiver.OnError = countErr
+
+	var ping func()
+	ping = func() {
+		t0 = r.cl.Eng.Now()
+		if err := r.send(r.ab, iter); err != nil {
+			res.Errors++
+		}
+	}
+	r.b.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+		if err := r.send(r.ba, iter); err != nil {
+			res.Errors++
+		}
+	}
+	r.a.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+		rtt := r.cl.Eng.Now().Sub(t0)
+		if iter >= cfg.Warmup {
+			res.Samples.Add(rtt / 2)
+		}
+		iter++
+		if iter < total {
+			ping()
+		}
+	}
+	r.cl.Eng.After(0, ping)
+	r.cl.Run()
+
+	res.CyclesA = r.a.Counter.Total()
+	res.CyclesB = r.b.Counter.Total()
+	if res.Samples.N() < cfg.Iters {
+		return res, fmt.Errorf("perf: ping-pong collected %d/%d samples (errors %d)",
+			res.Samples.N(), cfg.Iters, res.Errors)
+	}
+	return res, nil
+}
+
+// InjectionRate runs the rate shape of §VI-A2: the sender streams messages
+// as fast as bank credits allow; the receiver drains banks and returns
+// flags. The reported rate covers the post-warmup window.
+func InjectionRate(cfg RunConfig) (*RunResult, error) {
+	geom := mailbox.Geometry{Banks: cfg.Banks, Slots: cfg.Slots}
+	r, err := buildRig(cfg, geom, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{FrameSize: r.frame}
+
+	total := cfg.Warmup + cfg.Iters
+	processed := 0
+	var tStart, tEnd sim.Time
+	r.b.Receiver.OnError = func(d *mailbox.Delivery, err error) { res.Errors++ }
+	r.b.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+		processed++
+		if processed == cfg.Warmup {
+			tStart = r.cl.Eng.Now()
+		}
+		if processed == total {
+			tEnd = r.cl.Eng.Now()
+		}
+	}
+	for i := 0; i < total; i++ {
+		if err := r.send(r.ab, i); err != nil {
+			return nil, err
+		}
+	}
+	r.cl.Run()
+
+	if processed < total {
+		return res, fmt.Errorf("perf: injection rate processed %d/%d (errors %d)",
+			processed, total, res.Errors)
+	}
+	window := tEnd.Sub(tStart).Seconds()
+	if window <= 0 {
+		return res, fmt.Errorf("perf: degenerate measurement window")
+	}
+	res.Rate = float64(cfg.Iters) / window
+	res.Bandwidth = res.Rate * float64(cfg.PayloadBytes)
+	res.CyclesA = r.a.Counter.Total()
+	res.CyclesB = r.b.Counter.Total()
+	return res, nil
+}
+
+// ucxPair is the no-mailbox baseline deployment for Fig. 5/6.
+type ucxPair struct {
+	cl     *core.Cluster
+	a, b   *core.Node
+	ab, ba interface {
+		Put(uint64, uint64, int, simnet.RKey, func(error, sim.Time))
+	}
+	aBuf uint64
+	bBuf uint64
+	aKey simnet.RKey
+	bKey simnet.RKey
+}
+
+func buildUcxPair(cfg RunConfig, size int) (*ucxPair, error) {
+	cl := core.NewCluster(core.ClusterConfig{Ordered: cfg.Ordered, Seed: cfg.NodeCfg.Seed})
+	a, err := cl.AddNode("initiator", cfg.NodeCfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := cl.AddNode("target", cfg.NodeCfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &ucxPair{cl: cl, a: a, b: b}
+	alloc := func(n *core.Node) (uint64, simnet.RKey, error) {
+		va, err := n.AS.AllocPages("putbuf", size+64, mem.PermRW)
+		if err != nil {
+			return 0, 0, err
+		}
+		m, err := n.Worker.RegisterMemory(va, size+64, simnet.RemoteWrite)
+		if err != nil {
+			return 0, 0, err
+		}
+		return va, m.Key, nil
+	}
+	if p.aBuf, p.aKey, err = alloc(a); err != nil {
+		return nil, err
+	}
+	if p.bBuf, p.bKey, err = alloc(b); err != nil {
+		return nil, err
+	}
+	p.ab = a.Worker.Connect(b.Worker)
+	p.ba = b.Worker.Connect(a.Worker)
+	a.SetStress(cfg.Stress)
+	b.SetStress(cfg.Stress)
+	return p, nil
+}
+
+// UcxPutLatency measures the plain RDMA put ping-pong: each side polls its
+// receive buffer and answers with a put — the Fig. 5 baseline.
+func UcxPutLatency(cfg RunConfig, size int) (*RunResult, error) {
+	p, err := buildUcxPair(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{FrameSize: size}
+	total := cfg.Warmup + cfg.Iters
+	iter := 0
+	var t0 sim.Time
+
+	var ping func()
+	ping = func() {
+		t0 = p.cl.Eng.Now()
+		p.ab.Put(p.aBuf, p.bBuf, size, p.bKey, nil)
+	}
+	// Receiver-side detection: poll granularity after delivery, plus the
+	// read of the landed signal line through the cache hierarchy (same
+	// treatment the mailbox receiver gets).
+	detect := func(n *core.Node, va uint64) sim.Duration {
+		d := pollDetect()
+		if n.Hier != nil {
+			d += n.Hier.Access(va, 8, memsim.Read)
+		}
+		return d
+	}
+	p.b.Worker.NIC.SetDeliveryHook(func(va uint64, n int) {
+		p.cl.Eng.After(detect(p.b, va), func() {
+			p.ba.Put(p.bBuf, p.aBuf, size, p.aKey, nil)
+		})
+	})
+	p.a.Worker.NIC.SetDeliveryHook(func(va uint64, n int) {
+		p.cl.Eng.After(detect(p.a, va), func() {
+			rtt := p.cl.Eng.Now().Sub(t0)
+			if iter >= cfg.Warmup {
+				res.Samples.Add(rtt / 2)
+			}
+			iter++
+			if iter < total {
+				ping()
+			}
+		})
+	})
+	p.cl.Eng.After(0, ping)
+	p.cl.Run()
+	if res.Samples.N() < cfg.Iters {
+		return res, fmt.Errorf("perf: ucx put latency collected %d/%d", res.Samples.N(), cfg.Iters)
+	}
+	return res, nil
+}
+
+// UcxPutBandwidth measures the standard put path's streaming bandwidth
+// with per-operation completion tracking — the Fig. 6 baseline.
+func UcxPutBandwidth(cfg RunConfig, size int) (*RunResult, error) {
+	p, err := buildUcxPair(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{FrameSize: size}
+	total := cfg.Warmup + cfg.Iters
+	var tStart, tEnd sim.Time
+	i := 0
+	var issue func()
+	issue = func() {
+		if i == cfg.Warmup {
+			tStart = p.cl.Eng.Now()
+		}
+		if i == total {
+			tEnd = p.cl.Eng.Now()
+			return
+		}
+		i++
+		p.ab.Put(p.aBuf, p.bBuf, size, p.bKey, func(err error, _ sim.Time) {
+			if err != nil {
+				res.Errors++
+			}
+			issue()
+		})
+	}
+	issue()
+	p.cl.Run()
+	window := tEnd.Sub(tStart).Seconds()
+	if window <= 0 {
+		return res, fmt.Errorf("perf: degenerate put bandwidth window")
+	}
+	res.Rate = float64(cfg.Iters) / window
+	res.Bandwidth = res.Rate * float64(size)
+	return res, nil
+}
+
+// AmPutBandwidth streams without-execution frames through the mailbox path
+// (the Fig. 6 measurement side).
+func AmPutBandwidth(cfg RunConfig) (*RunResult, error) {
+	cfg.Kind = WkData
+	return InjectionRate(cfg)
+}

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is the result of one experiment, printable as aligned text (the
+// rows/series a figure in the paper reports) or CSV.
+type Table struct {
+	Name  string // experiment id, e.g. "fig9"
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends a row; the cell count must match the columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("perf: table %s: row has %d cells, want %d", t.Name, len(cells), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-form annotation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	printRow(t.Cols)
+	total := len(t.Cols) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// FprintCSV writes the table as CSV.
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Cols, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

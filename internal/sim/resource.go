@@ -1,0 +1,60 @@
+package sim
+
+// Resource models a serially reusable unit (a NIC DMA engine, a wire, a CPU
+// core) as a single FIFO server: work items occupy it back to back, and a
+// request issued while the resource is busy is queued behind the current
+// occupant. This captures pipelining: a stream of messages through a chain
+// of Resources overlaps exactly as hardware stages would.
+type Resource struct {
+	name     string
+	nextFree Time
+	busy     Duration // total busy time, for utilization reporting
+	served   uint64
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Claim reserves the resource for dur starting no earlier than now, queueing
+// behind earlier work. It returns the time at which this work completes.
+// The caller typically schedules the downstream event at the returned time.
+func (r *Resource) Claim(now Time, dur Duration) (done Time) {
+	start := Max(now, r.nextFree)
+	done = start.Add(dur)
+	r.nextFree = done
+	r.busy += dur
+	r.served++
+	return done
+}
+
+// ClaimAt is Claim but also returns the start time, for models that care
+// about queueing delay separately from service time.
+func (r *Resource) ClaimAt(now Time, dur Duration) (start, done Time) {
+	start = Max(now, r.nextFree)
+	done = start.Add(dur)
+	r.nextFree = done
+	r.busy += dur
+	r.served++
+	return start, done
+}
+
+// FreeAt returns the earliest time new work could start.
+func (r *Resource) FreeAt() Time { return r.nextFree }
+
+// BusyTime returns the cumulative busy duration.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Served returns the number of claims processed.
+func (r *Resource) Served() uint64 { return r.served }
+
+// Reset returns the resource to idle at time zero and clears statistics.
+func (r *Resource) Reset() {
+	r.nextFree = 0
+	r.busy = 0
+	r.served = 0
+}

@@ -1,0 +1,385 @@
+// Package simnet simulates the RDMA interconnect of the paper's testbed:
+// two (or more) hosts with ConnectX-6-class HCAs connected back-to-back.
+//
+// It provides the InfiniBand semantics Two-Chains depends on:
+//
+//   - memory registration with 32-bit remote keys (rkeys); a put with an
+//     invalid or mismatched rkey is "rejected at the hardware level";
+//   - one-sided PUT (RDMA write) and GET (RDMA read) that complete without
+//     receiver CPU involvement;
+//   - 64-bit remote atomics (fetch-add);
+//   - a configurable in-order delivery guarantee: modern back-to-back
+//     links enforce write ordering (the paper's testbed does), but the
+//     mailbox supports fence + separate signal put when it is absent;
+//   - LLC stashing of inbound traffic via the receiver's memsim hierarchy.
+//
+// Time is discrete-event simulated; data movement is real (bytes are
+// copied between the nodes' address spaces through the DMA paths).
+package simnet
+
+import (
+	"fmt"
+
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+// RKey is an InfiniBand-style 32-bit remote access key.
+type RKey uint32
+
+// Access is the remote permission mask carried by a registration.
+type Access uint8
+
+const (
+	RemoteRead Access = 1 << iota
+	RemoteWrite
+	RemoteAtomic
+)
+
+// Registration is a pinned, remotely accessible memory region.
+type Registration struct {
+	Key    RKey
+	Base   uint64
+	Size   int
+	Access Access
+}
+
+// Contains reports whether [va, va+size) falls inside the registration.
+func (r *Registration) Contains(va uint64, size int) bool {
+	return va >= r.Base && va+uint64(size) <= r.Base+uint64(r.Size)
+}
+
+// Config sets fabric-wide characteristics.
+type Config struct {
+	// Ordered selects the in-order write delivery guarantee between host
+	// pairs (true on the paper's testbed).
+	Ordered bool
+	// Seed drives delivery jitter when Ordered is false.
+	Seed uint64
+}
+
+// DefaultConfig matches the paper's testbed.
+func DefaultConfig() Config {
+	return Config{Ordered: true, Seed: model.DefaultSeed}
+}
+
+// Fabric connects NICs with per-direction wires.
+type Fabric struct {
+	Engine *sim.Engine
+	cfg    Config
+	nics   []*NIC
+	wires  map[[2]int]*sim.Resource
+	rng    *sim.RNG
+}
+
+// NewFabric creates an empty fabric on the given event engine.
+func NewFabric(engine *sim.Engine, cfg Config) *Fabric {
+	return &Fabric{
+		Engine: engine,
+		cfg:    cfg,
+		wires:  map[[2]int]*sim.Resource{},
+		rng:    sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
+	}
+}
+
+// wire returns the directional wire resource between two NIC ids.
+func (f *Fabric) wire(src, dst int) *sim.Resource {
+	k := [2]int{src, dst}
+	w, ok := f.wires[k]
+	if !ok {
+		w = sim.NewResource(fmt.Sprintf("wire %d->%d", src, dst))
+		f.wires[k] = w
+	}
+	return w
+}
+
+// Stats aggregates per-NIC traffic counters.
+type Stats struct {
+	PutsSent      uint64
+	PutsDelivered uint64
+	GetsSent      uint64
+	AtomicsSent   uint64
+	BytesSent     uint64
+	Rejected      uint64
+}
+
+// NIC is one host adapter. It owns the host's registrations and its
+// transmit queue, and delivers inbound traffic into the host's address
+// space and cache hierarchy.
+type NIC struct {
+	ID     int
+	fabric *Fabric
+	as     *mem.AddressSpace
+	hier   *memsim.Hierarchy // may be nil
+	tx     *sim.Resource
+	regs   map[RKey]*Registration
+	keyRng *sim.RNG
+	// barrier is the fence point per destination: puts issued after a
+	// Fence are not delivered before it (used when Ordered is false).
+	barrier map[int]sim.Time
+	// onDeliver observes every delivered put (the reactive mailbox hooks
+	// this to implement signal watching; the sender hooks it for credit
+	// returns). Hooks run in registration order.
+	onDeliver []func(va uint64, size int)
+	stats     Stats
+}
+
+// AttachNIC adds a host to the fabric. hier may be nil (no cache model).
+func (f *Fabric) AttachNIC(as *mem.AddressSpace, hier *memsim.Hierarchy) *NIC {
+	n := &NIC{
+		ID:      len(f.nics),
+		fabric:  f,
+		as:      as,
+		hier:    hier,
+		tx:      sim.NewResource(fmt.Sprintf("nic%d-tx", len(f.nics))),
+		regs:    map[RKey]*Registration{},
+		keyRng:  f.rng.Split(),
+		barrier: map[int]sim.Time{},
+	}
+	f.nics = append(f.nics, n)
+	return n
+}
+
+// NIC accessors.
+
+// Stats returns a copy of the traffic counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// AddressSpace returns the host memory this NIC DMAs into.
+func (n *NIC) AddressSpace() *mem.AddressSpace { return n.as }
+
+// SetDeliveryHook registers an observer for inbound puts. Multiple hooks
+// may be registered; all run on every delivery.
+func (n *NIC) SetDeliveryHook(fn func(va uint64, size int)) {
+	n.onDeliver = append(n.onDeliver, fn)
+}
+
+// RegisterMemory pins [base, base+size) for remote access and returns its
+// rkey. Mirroring the IBTA model, the key is derived per registration and
+// must be conveyed to peers out of band.
+func (n *NIC) RegisterMemory(base uint64, size int, access Access) (RKey, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("simnet: register: non-positive size")
+	}
+	if _, err := n.as.ReadBytesDMA(base, 1); err != nil {
+		return 0, fmt.Errorf("simnet: register: base unmapped: %w", err)
+	}
+	if _, err := n.as.ReadBytesDMA(base+uint64(size)-1, 1); err != nil {
+		return 0, fmt.Errorf("simnet: register: end unmapped: %w", err)
+	}
+	var key RKey
+	for {
+		key = RKey(n.keyRng.Uint64())
+		if key == 0 {
+			continue
+		}
+		if _, dup := n.regs[key]; !dup {
+			break
+		}
+	}
+	n.regs[key] = &Registration{Key: key, Base: base, Size: size, Access: access}
+	return key, nil
+}
+
+// Deregister removes a registration.
+func (n *NIC) Deregister(key RKey) {
+	delete(n.regs, key)
+}
+
+// checkAccess validates an inbound operation against the target's
+// registrations. A failure models the hardware NAK.
+func (n *NIC) checkAccess(key RKey, va uint64, size int, want Access) error {
+	reg, ok := n.regs[key]
+	if !ok {
+		return fmt.Errorf("simnet: invalid rkey %#x", key)
+	}
+	if !reg.Contains(va, size) {
+		return fmt.Errorf("simnet: access [0x%x,+%d) outside registration [0x%x,+%d)",
+			va, size, reg.Base, reg.Size)
+	}
+	if reg.Access&want == 0 {
+		return fmt.Errorf("simnet: registration %#x lacks permission %d", key, want)
+	}
+	return nil
+}
+
+// PutResult reports the outcome of a one-sided operation to its initiator.
+type PutResult struct {
+	Err       error
+	Delivered sim.Time // delivery time at the target (zero on error)
+}
+
+// Put issues a one-sided RDMA write of size bytes from the local address
+// srcVA to dstVA on the target NIC, authorized by key. Callbacks:
+//
+//   - onComplete fires at the initiator when the operation completes
+//     locally (buffer reusable) or is rejected;
+//   - delivery happens at the target with no CPU involvement: bytes land
+//     in memory (stashed into LLC when enabled) and the delivery hook runs.
+func (n *NIC) Put(dst *NIC, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult)) {
+	eng := n.fabric.Engine
+	n.stats.PutsSent++
+	n.stats.BytesSent += uint64(size)
+
+	data, err := n.as.ReadBytesDMA(srcVA, size)
+	if err != nil {
+		n.stats.Rejected++
+		eng.After(0, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: fmt.Errorf("simnet: local DMA read: %w", err)})
+			}
+		})
+		return
+	}
+
+	// NIC processing, then wire serialization.
+	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
+	wireDone := n.fabric.wire(n.ID, dst.ID).Claim(txDone, model.WireTime(size))
+	arrival := wireDone.Add(model.PutBaseLat - model.NicPerMsg) // base latency includes endpoint costs
+
+	if !n.fabric.cfg.Ordered {
+		// Unordered fabrics can reorder within a small window, but never
+		// ahead of an explicit fence.
+		jitter := sim.FromNanos(n.fabric.rng.Exp(120))
+		arrival = arrival.Add(jitter)
+	}
+	if b, ok := n.barrier[dst.ID]; ok && arrival < b {
+		arrival = b
+	}
+
+	if err := dst.checkAccess(key, dstVA, size, RemoteWrite); err != nil {
+		n.stats.Rejected++
+		eng.At(arrival, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: err})
+			}
+		})
+		return
+	}
+
+	eng.At(arrival, func() {
+		// Deliver: memory write + stash + hook. Failure here is a model
+		// bug (registration guaranteed the range is mapped).
+		if err := dst.as.WriteBytesDMA(dstVA, data); err != nil {
+			panic(fmt.Sprintf("simnet: delivery DMA failed inside registration: %v", err))
+		}
+		if dst.hier != nil {
+			dst.hier.NetworkWrite(dstVA, size)
+		}
+		dst.stats.PutsDelivered++
+		for _, hook := range dst.onDeliver {
+			hook(dstVA, size)
+		}
+		if onComplete != nil {
+			onComplete(PutResult{Delivered: eng.Now()})
+		}
+	})
+}
+
+// Get issues a one-sided RDMA read of size bytes from srcVA on the target
+// into dstVA locally.
+func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComplete func(PutResult)) {
+	eng := n.fabric.Engine
+	n.stats.GetsSent++
+
+	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
+	// Request travels, response serializes the payload back.
+	reqArrive := txDone.Add(model.PutBaseLat / 2)
+	wireDone := n.fabric.wire(dst.ID, n.ID).Claim(reqArrive, model.WireTime(size))
+	arrival := wireDone.Add(model.PutBaseLat / 2)
+
+	if err := dst.checkAccess(key, remoteVA, size, RemoteRead); err != nil {
+		n.stats.Rejected++
+		eng.At(arrival, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: err})
+			}
+		})
+		return
+	}
+	eng.At(arrival, func() {
+		data, err := dst.as.ReadBytesDMA(remoteVA, size)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: get DMA failed inside registration: %v", err))
+		}
+		if err := n.as.WriteBytesDMA(localVA, data); err != nil {
+			if onComplete != nil {
+				onComplete(PutResult{Err: fmt.Errorf("simnet: local landing: %w", err)})
+			}
+			return
+		}
+		if n.hier != nil {
+			n.hier.NetworkWrite(localVA, size)
+		}
+		if onComplete != nil {
+			onComplete(PutResult{Delivered: eng.Now()})
+		}
+	})
+}
+
+// AtomicFetchAdd performs a remote 64-bit fetch-and-add at dstVA,
+// delivering the previous value to the callback.
+func (n *NIC) AtomicFetchAdd(dst *NIC, dstVA uint64, add uint64, key RKey, onComplete func(old uint64, res PutResult)) {
+	eng := n.fabric.Engine
+	n.stats.AtomicsSent++
+	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
+	arrival := txDone.Add(model.PutBaseLat)
+	if err := dst.checkAccess(key, dstVA, 8, RemoteAtomic); err != nil {
+		n.stats.Rejected++
+		eng.At(arrival, func() {
+			if onComplete != nil {
+				onComplete(0, PutResult{Err: err})
+			}
+		})
+		return
+	}
+	eng.At(arrival, func() {
+		raw, err := dst.as.ReadBytesDMA(dstVA, 8)
+		if err != nil {
+			panic(fmt.Sprintf("simnet: atomic read failed inside registration: %v", err))
+		}
+		old := leU64(raw)
+		var buf [8]byte
+		putLeU64(buf[:], old+add)
+		if err := dst.as.WriteBytesDMA(dstVA, buf[:]); err != nil {
+			panic(fmt.Sprintf("simnet: atomic write failed inside registration: %v", err))
+		}
+		if dst.hier != nil {
+			dst.hier.NetworkWrite(dstVA, 8)
+		}
+		// Result returns to the initiator after another half RTT.
+		eng.After(sim.Duration(model.PutBaseLat)/2, func() {
+			if onComplete != nil {
+				onComplete(old, PutResult{Delivered: eng.Now()})
+			}
+		})
+	})
+}
+
+// Fence guarantees that puts to dst issued after the fence are delivered
+// no earlier than every put issued before it — the explicit ordering
+// primitive needed on fabrics without the write-order guarantee
+// (paper Fig. 1: "each signal put has to follow a fence operation").
+func (n *NIC) Fence(dst *NIC) {
+	latest := n.fabric.wire(n.ID, dst.ID).FreeAt().Add(model.PutBaseLat)
+	if !n.fabric.cfg.Ordered {
+		// Cover the jitter window too.
+		latest = latest.Add(sim.FromNanos(1000))
+	}
+	if cur, ok := n.barrier[dst.ID]; !ok || latest > cur {
+		n.barrier[dst.ID] = latest
+	}
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

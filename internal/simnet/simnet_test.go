@@ -1,0 +1,311 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+type host struct {
+	as  *mem.AddressSpace
+	nic *NIC
+	buf uint64
+	key RKey
+}
+
+func twoHosts(t *testing.T, cfg Config, access Access) (*sim.Engine, *host, *host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	f := NewFabric(eng, cfg)
+	mk := func() *host {
+		h := &host{as: mem.NewAddressSpace(1 << 20)}
+		h.nic = f.AttachNIC(h.as, nil)
+		var err error
+		h.buf, err = h.as.AllocPages("buf", 64*1024, mem.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.key, err = h.nic.RegisterMemory(h.buf, 64*1024, access)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	return eng, mk(), mk()
+}
+
+func TestPutDeliversBytes(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	msg := []byte("injected function payload")
+	if err := a.as.WriteBytes(a.buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	var res PutResult
+	a.nic.Put(b.nic, a.buf, b.buf, len(msg), b.key, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got, _ := b.as.ReadBytes(b.buf, len(msg))
+	if string(got) != string(msg) {
+		t.Fatalf("delivered %q", got)
+	}
+	if res.Delivered <= 0 {
+		t.Fatal("no delivery time")
+	}
+}
+
+func TestPutLatencyModel(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var small, large sim.Time
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key, func(r PutResult) { small = r.Delivered })
+	eng.Run()
+	eng2, c, d := twoHosts(t, DefaultConfig(), RemoteWrite)
+	c.nic.Put(d.nic, c.buf, d.buf, 32768, d.key, func(r PutResult) { large = r.Delivered })
+	eng2.Run()
+	if small <= 0 || large <= small {
+		t.Fatalf("latencies: small=%v large=%v", small, large)
+	}
+	// A 64B put should be near the base latency.
+	base := sim.Time(0).Add(model.PutBaseLat)
+	if small < base || small > base.Add(sim.FromNanos(200)) {
+		t.Fatalf("64B delivery at %v, base %v", small, base)
+	}
+	// 32KB is dominated by serialization: ~1.36us at 24 GB/s.
+	wire := model.WireTime(32768)
+	if large < sim.Time(0).Add(wire) {
+		t.Fatalf("32KB delivered before wire time: %v < %v", large, wire)
+	}
+}
+
+func TestInvalidRkeyRejected(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var res PutResult
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key+1, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "rkey") {
+		t.Fatalf("err = %v", res.Err)
+	}
+	// Nothing delivered.
+	if b.nic.Stats().PutsDelivered != 0 {
+		t.Fatal("rejected put delivered")
+	}
+}
+
+func TestOutOfRegistrationRejected(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var res PutResult
+	a.nic.Put(b.nic, a.buf, b.buf+64*1024-16, 64, b.key, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "outside registration") {
+		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+func TestPermissionEnforced(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteRead) // write not granted
+	var res PutResult
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "permission") {
+		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+func TestOrderedDelivery(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		a.nic.Put(b.nic, a.buf, b.buf+uint64(i*128), 128, b.key, func(r PutResult) {
+			order = append(order, i)
+		})
+	}
+	eng.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("deliveries reordered: %v", order)
+		}
+	}
+}
+
+func TestUnorderedFenceRestoresOrder(t *testing.T) {
+	cfg := Config{Ordered: false, Seed: 7}
+	eng, a, b := twoHosts(t, cfg, RemoteWrite)
+	dataDone := sim.Time(0)
+	sigDone := sim.Time(0)
+	// Data put, then fence, then signal put: the signal must never arrive
+	// before the data even on an unordered fabric.
+	a.nic.Put(b.nic, a.buf, b.buf, 4096, b.key, func(r PutResult) { dataDone = r.Delivered })
+	a.nic.Fence(b.nic)
+	a.nic.Put(b.nic, a.buf, b.buf+8192, 8, b.key, func(r PutResult) { sigDone = r.Delivered })
+	eng.Run()
+	if sigDone < dataDone {
+		t.Fatalf("signal (%v) arrived before data (%v) despite fence", sigDone, dataDone)
+	}
+}
+
+func TestUnorderedCanReorderWithoutFence(t *testing.T) {
+	// Sanity for the ablation: without a fence, an unordered fabric does
+	// sometimes reorder a large put and a trailing small put.
+	reordered := false
+	for seed := uint64(1); seed <= 40 && !reordered; seed++ {
+		cfg := Config{Ordered: false, Seed: seed}
+		eng, a, b := twoHosts(t, cfg, RemoteWrite)
+		var dataAt, sigAt sim.Time
+		a.nic.Put(b.nic, a.buf, b.buf, 8192, b.key, func(r PutResult) { dataAt = r.Delivered })
+		a.nic.Put(b.nic, a.buf, b.buf+16384, 8, b.key, func(r PutResult) { sigAt = r.Delivered })
+		eng.Run()
+		if sigAt < dataAt {
+			reordered = true
+		}
+	}
+	if !reordered {
+		t.Fatal("unordered fabric never reordered in 40 seeds")
+	}
+}
+
+func TestGetReadsRemote(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteRead|RemoteWrite)
+	want := []byte("remote bytes")
+	if err := b.as.WriteBytes(b.buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var res PutResult
+	a.nic.Get(b.nic, b.buf, a.buf+1024, len(want), b.key, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got, _ := a.as.ReadBytes(a.buf+1024, len(want))
+	if string(got) != string(want) {
+		t.Fatalf("get = %q", got)
+	}
+}
+
+func TestAtomicFetchAdd(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteAtomic)
+	if err := b.as.WriteU64(b.buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	var old uint64
+	var res PutResult
+	a.nic.AtomicFetchAdd(b.nic, b.buf, 42, b.key, func(o uint64, r PutResult) { old, res = o, r })
+	eng.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if old != 100 {
+		t.Fatalf("old = %d", old)
+	}
+	v, _ := b.as.ReadU64(b.buf)
+	if v != 142 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestAtomicWithoutPermissionRejected(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var res PutResult
+	a.nic.AtomicFetchAdd(b.nic, b.buf, 1, b.key, func(_ uint64, r PutResult) { res = r })
+	eng.Run()
+	if res.Err == nil {
+		t.Fatal("atomic without permission accepted")
+	}
+}
+
+func TestDeliveryHookFires(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	var hookVA uint64
+	var hookSize int
+	b.nic.SetDeliveryHook(func(va uint64, size int) { hookVA, hookSize = va, size })
+	a.nic.Put(b.nic, a.buf, b.buf+256, 128, b.key, nil)
+	eng.Run()
+	if hookVA != b.buf+256 || hookSize != 128 {
+		t.Fatalf("hook got (0x%x, %d)", hookVA, hookSize)
+	}
+}
+
+func TestStashOnDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig())
+	asA := mem.NewAddressSpace(1 << 20)
+	nicA := f.AttachNIC(asA, nil)
+	bufA, _ := asA.AllocPages("a", 4096, mem.PermRW)
+
+	asB := mem.NewAddressSpace(1 << 20)
+	hierB := memsim.New(memsim.DefaultConfig())
+	nicB := f.AttachNIC(asB, hierB)
+	bufB, _ := asB.AllocPages("b", 4096, mem.PermRW)
+	keyB, _ := nicB.RegisterMemory(bufB, 4096, RemoteWrite)
+
+	nicA.Put(nicB, bufA, bufB, 512, keyB, nil)
+	eng.Run()
+	if lvl := hierB.Contains(bufB); lvl != "LLC" {
+		t.Fatalf("delivered line in %s, want LLC (stashing on)", lvl)
+	}
+}
+
+func TestPipelinedThroughputBoundedByWire(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	const n = 100
+	const size = 16384
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		a.nic.Put(b.nic, a.buf, b.buf, size, b.key, func(r PutResult) {
+			if r.Delivered > last {
+				last = r.Delivered
+			}
+		})
+	}
+	eng.Run()
+	elapsed := sim.Duration(last)
+	wireFloor := sim.Duration(n) * model.WireTime(size)
+	if elapsed < wireFloor {
+		t.Fatalf("elapsed %v beats wire serialization %v", elapsed, wireFloor)
+	}
+	// But pipelining means we pay base latency only ~once, not n times.
+	if elapsed > wireFloor+sim.Duration(4)*model.PutBaseLat {
+		t.Fatalf("no pipelining: %v >> %v", elapsed, wireFloor)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key, nil)
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key+1, nil) // rejected
+	eng.Run()
+	s := a.nic.Stats()
+	if s.PutsSent != 2 || s.Rejected != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if b.nic.Stats().PutsDelivered != 1 {
+		t.Fatalf("delivered %d", b.nic.Stats().PutsDelivered)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	eng, a, _ := twoHosts(t, DefaultConfig(), RemoteWrite)
+	_ = eng
+	if _, err := a.nic.RegisterMemory(a.buf, 0, RemoteWrite); err == nil {
+		t.Fatal("zero-size registration accepted")
+	}
+	if _, err := a.nic.RegisterMemory(0x10, 64, RemoteWrite); err == nil {
+		t.Fatal("unmapped registration accepted")
+	}
+}
+
+func TestDeregisterInvalidatesKey(t *testing.T) {
+	eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+	b.nic.Deregister(b.key)
+	var res PutResult
+	a.nic.Put(b.nic, a.buf, b.buf, 64, b.key, func(r PutResult) { res = r })
+	eng.Run()
+	if res.Err == nil {
+		t.Fatal("put with deregistered key accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package ucx models the communication framework the Two-Chains runtime
+// plugs into (UCX in the paper): contexts, workers, endpoints, registered
+// memory, and a size-tiered protocol stack.
+//
+// Two put paths exist, mirroring §VII of the paper:
+//
+//   - Put is the standard library path with flow-control windows and
+//     software completion tracking. It is the Fig. 5/6 baseline ("the
+//     standard UCX put operation has more library overhead for flow
+//     control and detecting message completion").
+//   - PutThin is the lean path the reactive mailbox uses: the frame is
+//     preformatted, flow control belongs to the mailbox banks, and no
+//     completion queue is polled.
+//
+// Both paths pay the protocol-tier overheads of the underlying library
+// (short/eager/bcopy/zcopy), which is what produces the threshold
+// irregularities of Fig. 7; only the standard path adds the rendezvous
+// handshake for large messages.
+package ucx
+
+import (
+	"fmt"
+
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+	"twochains/internal/simnet"
+)
+
+// DefaultWindow is the standard path's outstanding-operation limit.
+const DefaultWindow = 16
+
+// Context owns the fabric connection for one process.
+type Context struct {
+	Fabric *simnet.Fabric
+}
+
+// NewContext wraps a fabric.
+func NewContext(f *simnet.Fabric) *Context { return &Context{Fabric: f} }
+
+// Worker is a progress engine bound to one node: its NIC plus the CPU time
+// the communication library consumes on that node.
+type Worker struct {
+	Ctx  *Context
+	NIC  *simnet.NIC
+	AS   *mem.AddressSpace
+	Hier *memsim.Hierarchy
+	// CPU serializes the library's software overheads on this node.
+	CPU *sim.Resource
+}
+
+// NewWorker attaches a node to the fabric.
+func (c *Context) NewWorker(as *mem.AddressSpace, hier *memsim.Hierarchy) *Worker {
+	return &Worker{
+		Ctx:  c,
+		NIC:  c.Fabric.AttachNIC(as, hier),
+		AS:   as,
+		Hier: hier,
+		CPU:  sim.NewResource("ucx-cpu"),
+	}
+}
+
+// Memory is a registered region handle with its rkey.
+type Memory struct {
+	Base uint64
+	Size int
+	Key  simnet.RKey
+}
+
+// RegisterMemory pins a region for remote access.
+func (w *Worker) RegisterMemory(base uint64, size int, access simnet.Access) (*Memory, error) {
+	key, err := w.NIC.RegisterMemory(base, size, access)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{Base: base, Size: size, Key: key}, nil
+}
+
+// Endpoint is a connection from a local worker to a remote worker.
+type Endpoint struct {
+	Local  *Worker
+	Remote *Worker
+
+	window    int
+	inflight  int
+	backlog   []func()
+	completed uint64
+}
+
+// Connect creates an endpoint to peer.
+func (w *Worker) Connect(peer *Worker) *Endpoint {
+	return &Endpoint{Local: w, Remote: peer, window: DefaultWindow}
+}
+
+func (ep *Endpoint) engine() *sim.Engine { return ep.Local.Ctx.Fabric.Engine }
+
+// Completed returns the number of standard-path operations completed.
+func (ep *Endpoint) Completed() uint64 { return ep.completed }
+
+// Put performs a standard one-sided put with the full library path:
+// posting overhead, protocol tier selection (including the rendezvous
+// handshake for large messages), a flow-control window, and completion
+// processing. onComplete fires when the operation completes at the sender.
+func (ep *Endpoint) Put(srcVA, dstVA uint64, size int, key simnet.RKey, onComplete func(error, sim.Time)) {
+	issue := func() {
+		eng := ep.engine()
+		tier := model.TierFor(size)
+		// Window accounting grows with occupancy: a lone latency-test put
+		// pays almost nothing, a saturated pipeline pays the full cost —
+		// matching how credit bookkeeping behaves in the real library.
+		flow := sim.Duration(float64(model.UcxFlowOverhead) * float64(ep.inflight) / float64(ep.window))
+		swCost := model.UcxPostOverhead + flow + tier.Overhead + model.DoorbellLat
+		postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
+
+		fire := func() {
+			ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res simnet.PutResult) {
+				// Completion detection costs CPU on the sender.
+				compDone := ep.Local.CPU.Claim(eng.Now(), model.UcxCompOverhead)
+				eng.At(compDone, func() {
+					ep.completed++
+					ep.release()
+					if onComplete != nil {
+						onComplete(res.Err, res.Delivered)
+					}
+				})
+			})
+		}
+		if tier.Name == "rndv" {
+			// Rendezvous: RTS/CTS exchange before the payload moves.
+			eng.At(postDone.Add(2*model.PutBaseLat), fire)
+		} else {
+			eng.At(postDone, fire)
+		}
+	}
+	if ep.inflight >= ep.window {
+		ep.backlog = append(ep.backlog, issue)
+		return
+	}
+	ep.inflight++
+	issue()
+}
+
+func (ep *Endpoint) release() {
+	ep.inflight--
+	if len(ep.backlog) > 0 && ep.inflight < ep.window {
+		next := ep.backlog[0]
+		ep.backlog = ep.backlog[1:]
+		ep.inflight++
+		next()
+	}
+}
+
+// PutThin is the reactive-mailbox send path: the caller has already packed
+// the frame and manages its own credits, so the library only pays pack,
+// post, doorbell, and the protocol tier cost. Frames go through the same
+// protocol stack as any UCX message (the Fig. 7 threshold artifacts come
+// from exactly this), including the rendezvous handshake for very large
+// frames — but the handshakes of different mailbox slots overlap, so
+// pipelined streams remain wire-bound. onDelivered fires at the
+// receiver-side delivery time.
+func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key simnet.RKey, onDelivered func(error, sim.Time)) {
+	eng := ep.engine()
+	tier := model.TierFor(size)
+	swCost := model.AmPackOverhead + model.AmPostOverhead + tier.Overhead + model.DoorbellLat
+	postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
+	fire := func() {
+		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res simnet.PutResult) {
+			if onDelivered != nil {
+				onDelivered(res.Err, res.Delivered)
+			}
+		})
+	}
+	if tier.Name == "rndv" {
+		// Handshake delay; not serialized through any resource, so
+		// concurrent mailbox slots overlap their handshakes.
+		eng.At(postDone.Add(2*model.PutBaseLat), fire)
+	} else {
+		eng.At(postDone, fire)
+	}
+}
+
+// PutThinFenced is the mailbox send path for fabrics without the
+// write-order guarantee (paper Fig. 1): the frame body goes in one put, a
+// fence follows, and the 8-byte signal goes in a separate put that cannot
+// be delivered ahead of the body. The three steps issue atomically with
+// respect to simulated time so the fence covers exactly the body put.
+func (ep *Endpoint) PutThinFenced(srcVA, dstVA uint64, bodyLen, sigLen int, key simnet.RKey, onDelivered func(error, sim.Time)) {
+	eng := ep.engine()
+	tier := model.TierFor(bodyLen)
+	swCost := model.AmPackOverhead + 2*model.AmPostOverhead + tier.Overhead +
+		2*model.DoorbellLat + model.FenceOverhead
+	postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
+	if tier.Name == "rndv" {
+		// Same handshake the single-put path pays (see PutThin).
+		postDone = postDone.Add(2 * model.PutBaseLat)
+	}
+	eng.At(postDone, func() {
+		var bodyErr error
+		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, bodyLen, key, func(res simnet.PutResult) {
+			bodyErr = res.Err
+		})
+		ep.Local.NIC.Fence(ep.Remote.NIC)
+		ep.Local.NIC.Put(ep.Remote.NIC, srcVA+uint64(bodyLen), dstVA+uint64(bodyLen), sigLen, key,
+			func(res simnet.PutResult) {
+				if onDelivered != nil {
+					err := res.Err
+					if err == nil {
+						err = bodyErr
+					}
+					onDelivered(err, res.Delivered)
+				}
+			})
+	})
+}
+
+// AmTierOverhead is the protocol-tier software cost the mailbox path pays
+// for a frame of the given size.
+func AmTierOverhead(size int) sim.Duration {
+	return model.TierFor(size).Overhead
+}
+
+// SenderOverheadThin reports the per-message sender CPU time of the thin
+// path (used by analytic rate projections in the perf harness).
+func SenderOverheadThin(size int) sim.Duration {
+	return model.AmPackOverhead + model.AmPostOverhead + AmTierOverhead(size) + model.DoorbellLat
+}
+
+// SenderOverheadStd reports the same for the standard path.
+func SenderOverheadStd(size int) sim.Duration {
+	return model.UcxPostOverhead + model.UcxFlowOverhead + model.TierFor(size).Overhead +
+		model.DoorbellLat + model.UcxCompOverhead
+}
+
+// Flush invokes cb once every currently outstanding standard-path put has
+// completed. Implementation detail: completions are strictly ordered
+// through the sender CPU resource, so waiting for the count to drain at
+// each event suffices.
+func (ep *Endpoint) Flush(cb func()) {
+	eng := ep.engine()
+	var check func()
+	check = func() {
+		if ep.inflight == 0 && len(ep.backlog) == 0 {
+			cb()
+			return
+		}
+		eng.After(100*sim.Nanosecond, check)
+	}
+	check()
+}
+
+// String describes the endpoint for diagnostics.
+func (ep *Endpoint) String() string {
+	return fmt.Sprintf("ep(nic%d->nic%d, window %d, inflight %d)",
+		ep.Local.NIC.ID, ep.Remote.NIC.ID, ep.window, ep.inflight)
+}

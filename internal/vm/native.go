@@ -1,0 +1,243 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"twochains/internal/linker"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+)
+
+// BindLibc registers the standard native library into the VM and the node
+// namespace. These natives play the role of "existing C libraries" in the
+// paper: jams and rieds call them through the GOT with no recompilation,
+// which is the interoperability property §IV advertises.
+func BindLibc(v *VM, ns *linker.Namespace) error {
+	libc := []struct {
+		name string
+		fn   NativeFunc
+	}{
+		{"memcpy", nativeMemcpy},
+		{"memset", nativeMemset},
+		{"memcmp", nativeMemcmp},
+		{"memmove", nativeMemcpy}, // simulated spaces never overlap mid-copy
+		{"strlen", nativeStrlen},
+		{"strcmp", nativeStrcmp},
+		{"printf", nativePrintf},
+		{"puts", nativePuts},
+		{"abort", nativeAbort},
+	}
+	for _, e := range libc {
+		va, err := v.BindNative(e.name, e.fn)
+		if err != nil {
+			return err
+		}
+		if err := ns.Define(e.name, va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chargeCopy models the CPU side of a bulk copy beyond its cache traffic.
+func chargeCopy(env *Env, n uint64) {
+	env.Charge(model.Cycles(float64(n) * 0.12))
+}
+
+func nativeMemcpy(env *Env, args [6]uint64) (uint64, error) {
+	dst, src, n := args[0], args[1], args[2]
+	if n == 0 {
+		return dst, nil
+	}
+	if n > 1<<30 {
+		return 0, fmt.Errorf("memcpy: implausible length %d", n)
+	}
+	buf, err := env.AS.ReadBytes(src, int(n))
+	if err != nil {
+		return 0, err
+	}
+	if err := env.AS.WriteBytes(dst, buf); err != nil {
+		return 0, err
+	}
+	env.Access(src, int(n), memsim.Read)
+	env.Access(dst, int(n), memsim.Write)
+	chargeCopy(env, n)
+	return dst, nil
+}
+
+func nativeMemset(env *Env, args [6]uint64) (uint64, error) {
+	dst, c, n := args[0], args[1], args[2]
+	if n == 0 {
+		return dst, nil
+	}
+	if n > 1<<30 {
+		return 0, fmt.Errorf("memset: implausible length %d", n)
+	}
+	buf := make([]byte, n)
+	if byte(c) != 0 {
+		for i := range buf {
+			buf[i] = byte(c)
+		}
+	}
+	if err := env.AS.WriteBytes(dst, buf); err != nil {
+		return 0, err
+	}
+	env.Access(dst, int(n), memsim.Write)
+	chargeCopy(env, n)
+	return dst, nil
+}
+
+func nativeMemcmp(env *Env, args [6]uint64) (uint64, error) {
+	a, b, n := args[0], args[1], args[2]
+	if n > 1<<30 {
+		return 0, fmt.Errorf("memcmp: implausible length %d", n)
+	}
+	ba, err := env.AS.ReadBytes(a, int(n))
+	if err != nil {
+		return 0, err
+	}
+	bb, err := env.AS.ReadBytes(b, int(n))
+	if err != nil {
+		return 0, err
+	}
+	env.Access(a, int(n), memsim.Read)
+	env.Access(b, int(n), memsim.Read)
+	chargeCopy(env, n)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			if ba[i] < bb[i] {
+				return uint64(^uint64(0)), nil // -1
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+func nativeStrlen(env *Env, args [6]uint64) (uint64, error) {
+	s, err := env.AS.ReadCString(args[0], 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	env.Access(args[0], len(s)+1, memsim.Read)
+	return uint64(len(s)), nil
+}
+
+func nativeStrcmp(env *Env, args [6]uint64) (uint64, error) {
+	a, err := env.AS.ReadCString(args[0], 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	b, err := env.AS.ReadCString(args[1], 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	env.Access(args[0], len(a)+1, memsim.Read)
+	env.Access(args[1], len(b)+1, memsim.Read)
+	switch {
+	case a < b:
+		return uint64(^uint64(0)), nil
+	case a > b:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func nativePuts(env *Env, args [6]uint64) (uint64, error) {
+	s, err := env.AS.ReadCString(args[0], 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	env.Access(args[0], len(s)+1, memsim.Read)
+	if env.Stdout != nil {
+		fmt.Fprintln(env.Stdout, s)
+	}
+	return uint64(len(s) + 1), nil
+}
+
+func nativeAbort(env *Env, args [6]uint64) (uint64, error) {
+	return 0, fmt.Errorf("abort() called")
+}
+
+// nativePrintf implements the subset of printf the benchmark jams and
+// examples need: %d %u %x %s %c %% with no width modifiers. The format
+// string lives in the caller's address space (typically jam rodata that
+// travelled with the message — the paper's "implicitly pulls in read-only
+// data to support functions like printf").
+func nativePrintf(env *Env, args [6]uint64) (uint64, error) {
+	format, err := env.AS.ReadCString(args[0], 1<<16)
+	if err != nil {
+		return 0, err
+	}
+	env.Access(args[0], len(format)+1, memsim.Read)
+	out := make([]byte, 0, len(format)+16)
+	argi := 1
+	nextArg := func() (uint64, error) {
+		if argi >= 6 {
+			return 0, fmt.Errorf("printf: more than 5 conversions")
+		}
+		v := args[argi]
+		argi++
+		return v, nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return 0, fmt.Errorf("printf: trailing %%")
+		}
+		switch format[i] {
+		case '%':
+			out = append(out, '%')
+		case 'd':
+			v, err := nextArg()
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, fmt.Sprintf("%d", int64(v))...)
+		case 'u':
+			v, err := nextArg()
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, fmt.Sprintf("%d", v)...)
+		case 'x':
+			v, err := nextArg()
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, fmt.Sprintf("%x", v)...)
+		case 'c':
+			v, err := nextArg()
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, byte(v))
+		case 's':
+			v, err := nextArg()
+			if err != nil {
+				return 0, err
+			}
+			s, err := env.AS.ReadCString(v, 1<<16)
+			if err != nil {
+				return 0, err
+			}
+			env.Access(v, len(s)+1, memsim.Read)
+			out = append(out, s...)
+		default:
+			return 0, fmt.Errorf("printf: unsupported conversion %%%c", format[i])
+		}
+	}
+	if env.Stdout != nil {
+		if _, err := env.Stdout.Write(out); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	env.Charge(model.Cycles(float64(len(out)) * 2))
+	return uint64(len(out)), nil
+}

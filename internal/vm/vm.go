@@ -1,0 +1,513 @@
+// Package vm executes JAM code inside a node's simulated address space.
+//
+// The interpreter is the stand-in for the receiver CPU executing injected
+// machine code in the paper: instruction fetches and data accesses go
+// through the node's memsim hierarchy (so stashed message bytes are cheaper
+// to execute than DRAM-resident ones), GOT-indirect instructions implement
+// both the module-GOT form (CALLG/LDG, normal loaded libraries) and the
+// message-GOT form (CALLP/LDP, injected jams), and calls can cross between
+// injected code, library code, and native "C library" functions.
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"twochains/internal/isa"
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+// retMagic is the sentinel return address installed in LR for the outermost
+// call; returning to it ends execution.
+const retMagic = 0xFFFF_FFFF_FFFF_0000
+
+// DefaultInstrBudget bounds a single invocation, catching runaway jams.
+const DefaultInstrBudget = 200_000_000
+
+// Region is a mapped code object the VM can execute: a loaded library's
+// text or an injected jam inside a mailbox frame.
+type Region struct {
+	Start, End uint64 // text VA range
+	// GotVA is the module GOT base for CALLG/LDG; zero for jams, whose
+	// GOT travels with the message.
+	GotVA uint64
+	// GpSlotVA is the address of the GOT pointer slot for CALLP/LDP —
+	// by convention Start-8, "just before the code" (paper Fig. 2).
+	GpSlotVA uint64
+	instrs   []isa.Instr
+}
+
+// NativeFunc is a host-implemented library function ("existing C library"
+// in the paper's terms). Arguments arrive in r0-r5; the return value goes
+// to r0.
+type NativeFunc func(env *Env, args [6]uint64) (uint64, error)
+
+// Env gives natives access to the executing node's state and cost meter.
+type Env struct {
+	VM     *VM
+	AS     *mem.AddressSpace
+	Hier   *memsim.Hierarchy
+	Stdout io.Writer
+	cost   *sim.Duration
+}
+
+// Charge adds explicit simulated time (for natives modelling work beyond
+// their memory traffic).
+func (e *Env) Charge(d sim.Duration) { *e.cost += d }
+
+// Access charges a memory access through the hierarchy, if timing is on.
+func (e *Env) Access(addr uint64, size int, k memsim.Kind) {
+	if e.Hier != nil {
+		*e.cost += e.Hier.Access(addr, size, k)
+	}
+}
+
+// VM is one node's execution engine. Not safe for concurrent use.
+type VM struct {
+	AS   *mem.AddressSpace
+	Hier *memsim.Hierarchy // nil disables timing
+	// Stdout receives printf/puts output from executed code.
+	Stdout io.Writer
+	// CheckExec enforces page execute permissions on instruction fetch
+	// (the paper's mailbox pages are RWX by default; the security modes
+	// in §V tighten this).
+	CheckExec bool
+	// InstrBudget bounds instructions per Call.
+	InstrBudget uint64
+
+	regions    []*Region
+	natives    []NativeFunc
+	nativeName []string
+	nativeBase uint64
+	nativeEnd  uint64
+
+	regs      [16]uint64
+	stackVA   uint64
+	stackSize int
+
+	// Cumulative counters across calls.
+	TotalInstrs uint64
+	TotalCost   sim.Duration
+}
+
+// New creates a VM bound to an address space. hier may be nil to disable
+// timing (functional tests); stdout may be nil to discard output.
+func New(as *mem.AddressSpace, hier *memsim.Hierarchy, stdout io.Writer) (*VM, error) {
+	vm := &VM{
+		AS:          as,
+		Hier:        hier,
+		Stdout:      stdout,
+		InstrBudget: DefaultInstrBudget,
+	}
+	base, err := as.AllocPages("vm:natives", mem.PageSize, mem.PermR)
+	if err != nil {
+		return nil, err
+	}
+	vm.nativeBase = base
+	vm.nativeEnd = base + mem.PageSize
+	stack, err := as.AllocPages("vm:stack", 64*1024, mem.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	vm.stackVA = stack
+	vm.stackSize = 64 * 1024
+	return vm, nil
+}
+
+// BindNative registers fn under name and returns its callable VA.
+func (vm *VM) BindNative(name string, fn NativeFunc) (uint64, error) {
+	if len(vm.natives) >= mem.PageSize/8 {
+		return 0, fmt.Errorf("vm: native table full")
+	}
+	va := vm.nativeBase + uint64(len(vm.natives)*8)
+	vm.natives = append(vm.natives, fn)
+	vm.nativeName = append(vm.nativeName, name)
+	return va, nil
+}
+
+// AddRegion maps code at [start, start+len(code)) for execution. gotVA is
+// the module GOT (zero for jams). The code is validated and pre-decoded.
+func (vm *VM) AddRegion(start uint64, code []byte, gotVA uint64) (*Region, error) {
+	instrs, err := isa.DecodeAll(code)
+	if err != nil {
+		return nil, fmt.Errorf("vm: AddRegion at 0x%x: %w", start, err)
+	}
+	for i, in := range instrs {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("vm: AddRegion at 0x%x: instr %d: %w", start, i, err)
+		}
+	}
+	r := &Region{
+		Start:    start,
+		End:      start + uint64(len(code)),
+		GotVA:    gotVA,
+		GpSlotVA: start - 8,
+		instrs:   instrs,
+	}
+	vm.regions = append(vm.regions, r)
+	return r, nil
+}
+
+// RemoveRegion unmaps a previously added region (e.g. a consumed jam).
+func (vm *VM) RemoveRegion(r *Region) {
+	for i, x := range vm.regions {
+		if x == r {
+			vm.regions = append(vm.regions[:i], vm.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+func (vm *VM) findRegion(pc uint64) *Region {
+	for _, r := range vm.regions {
+		if pc >= r.Start && pc < r.End {
+			return r
+		}
+	}
+	return nil
+}
+
+// Fault is a VM execution error with machine context.
+type Fault struct {
+	PC    uint64
+	Instr string
+	Err   error
+}
+
+func (f *Fault) Error() string {
+	if f.Instr != "" {
+		return fmt.Sprintf("vm: fault at pc=0x%x [%s]: %v", f.PC, f.Instr, f.Err)
+	}
+	return fmt.Sprintf("vm: fault at pc=0x%x: %v", f.PC, f.Err)
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Call executes the function at entry with up to six arguments, returning
+// r0 and the simulated cost of the invocation.
+func (vm *VM) Call(entry uint64, args ...uint64) (uint64, sim.Duration, error) {
+	if len(args) > 6 {
+		return 0, 0, fmt.Errorf("vm: too many arguments (%d > 6)", len(args))
+	}
+	for i := range vm.regs {
+		vm.regs[i] = 0
+	}
+	copy(vm.regs[:], args)
+	vm.regs[isa.RegSP] = vm.stackVA + uint64(vm.stackSize)
+	vm.regs[isa.RegLR] = retMagic
+
+	var cost sim.Duration
+	var instrs uint64
+	env := &Env{VM: vm, AS: vm.AS, Hier: vm.Hier, Stdout: vm.Stdout, cost: &cost}
+
+	pc := entry
+	var region *Region
+	lastFetchLine := uint64(1) // impossible line value forces first fetch
+	// hotLines is a tiny L1I/loop-buffer model: lines fetched recently are
+	// re-entered for free, so a loop body straddling a line boundary does
+	// not pay the cache load-to-use latency on every iteration.
+	var hotLines [8]uint64
+	hotIdx := 0
+
+	fail := func(err error) (uint64, sim.Duration, error) {
+		instrCost := model.Cycles(float64(instrs) * model.VMCyclesPerInstr)
+		vm.TotalInstrs += instrs
+		vm.TotalCost += cost + instrCost
+		f := &Fault{PC: pc, Err: err}
+		if region != nil && pc >= region.Start && pc < region.End {
+			f.Instr = region.instrs[(pc-region.Start)/isa.InstrSize].String()
+		}
+		return 0, cost + instrCost, f
+	}
+
+	for {
+		if pc == retMagic {
+			break
+		}
+		// Native call target: run host function and return to LR.
+		if pc >= vm.nativeBase && pc < vm.nativeEnd {
+			idx := int(pc-vm.nativeBase) / 8
+			if idx >= len(vm.natives) {
+				return fail(fmt.Errorf("call to unbound native slot %d", idx))
+			}
+			cost += model.Cycles(20) // call/return overhead
+			ret, err := vm.natives[idx](env, [6]uint64{
+				vm.regs[0], vm.regs[1], vm.regs[2], vm.regs[3], vm.regs[4], vm.regs[5],
+			})
+			if err != nil {
+				return fail(fmt.Errorf("native %s: %w", vm.nativeName[idx], err))
+			}
+			vm.regs[0] = ret
+			pc = vm.regs[isa.RegLR]
+			continue
+		}
+		if region == nil || pc < region.Start || pc >= region.End {
+			region = vm.findRegion(pc)
+			if region == nil {
+				return fail(fmt.Errorf("jump to unmapped code"))
+			}
+		}
+		// Per-line fetch charging and optional X enforcement: lines never
+		// straddle pages, so one check covers all instructions in the line.
+		// Sequential fall-through into the next line rides the fetch-ahead
+		// stream; a taken branch to a new line pays the full latency.
+		if line := pc &^ 63; line != lastFetchLine {
+			seqFetch := line == lastFetchLine+64
+			lastFetchLine = line
+			if vm.CheckExec {
+				if err := vm.AS.FetchCheck(pc, isa.InstrSize); err != nil {
+					return fail(err)
+				}
+			}
+			hot := false
+			for _, h := range hotLines {
+				if h == line+1 {
+					hot = true
+					break
+				}
+			}
+			if !hot {
+				if vm.Hier != nil {
+					cost += vm.Hier.AccessSeq(line, 64, memsim.Fetch, seqFetch)
+				}
+				hotLines[hotIdx] = line + 1
+				hotIdx = (hotIdx + 1) & 7
+			}
+		}
+
+		instrs++
+		if instrs > vm.InstrBudget {
+			return fail(fmt.Errorf("instruction budget exceeded (%d)", vm.InstrBudget))
+		}
+		in := region.instrs[(pc-region.Start)/isa.InstrSize]
+		next := pc + isa.InstrSize
+		r := &vm.regs
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			pc = retMagic
+			continue
+		case isa.MOVI:
+			r[in.Rd] = uint64(int64(in.Imm))
+		case isa.MOVIU:
+			r[in.Rd] = (r[in.Rd] & 0xFFFFFFFF) | uint64(uint32(in.Imm))<<32
+		case isa.MOV:
+			r[in.Rd] = r[in.Rs1]
+		case isa.LEA:
+			r[in.Rd] = pc + uint64(int64(in.Imm))
+		case isa.ADD:
+			r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+		case isa.SUB:
+			r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+		case isa.MUL:
+			r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+		case isa.DIV:
+			if r[in.Rs2] == 0 {
+				return fail(fmt.Errorf("division by zero"))
+			}
+			r[in.Rd] = uint64(int64(r[in.Rs1]) / int64(r[in.Rs2]))
+		case isa.REM:
+			if r[in.Rs2] == 0 {
+				return fail(fmt.Errorf("division by zero"))
+			}
+			r[in.Rd] = uint64(int64(r[in.Rs1]) % int64(r[in.Rs2]))
+		case isa.AND:
+			r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+		case isa.OR:
+			r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+		case isa.XOR:
+			r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+		case isa.SHL:
+			r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 63)
+		case isa.SHR:
+			r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 63)
+		case isa.SAR:
+			r[in.Rd] = uint64(int64(r[in.Rs1]) >> (r[in.Rs2] & 63))
+		case isa.ADDI:
+			r[in.Rd] = r[in.Rs1] + uint64(int64(in.Imm))
+		case isa.MULI:
+			r[in.Rd] = r[in.Rs1] * uint64(int64(in.Imm))
+		case isa.ANDI:
+			r[in.Rd] = r[in.Rs1] & uint64(int64(in.Imm))
+		case isa.ORI:
+			r[in.Rd] = r[in.Rs1] | uint64(int64(in.Imm))
+		case isa.XORI:
+			r[in.Rd] = r[in.Rs1] ^ uint64(int64(in.Imm))
+		case isa.SHLI:
+			r[in.Rd] = r[in.Rs1] << (uint64(in.Imm) & 63)
+		case isa.SHRI:
+			r[in.Rd] = r[in.Rs1] >> (uint64(in.Imm) & 63)
+		case isa.SLT:
+			r[in.Rd] = b2u(int64(r[in.Rs1]) < int64(r[in.Rs2]))
+		case isa.SLTU:
+			r[in.Rd] = b2u(r[in.Rs1] < r[in.Rs2])
+		case isa.SEQ:
+			r[in.Rd] = b2u(r[in.Rs1] == r[in.Rs2])
+
+		case isa.LDB, isa.LDH, isa.LDW, isa.LD:
+			addr := r[in.Rs1] + uint64(int64(in.Imm))
+			size := loadSize(in.Op)
+			var v uint64
+			var err error
+			switch in.Op {
+			case isa.LDB:
+				v, err = vm.AS.ReadU8(addr)
+			case isa.LDH:
+				v, err = vm.AS.ReadU16(addr)
+			case isa.LDW:
+				v, err = vm.AS.ReadU32(addr)
+			default:
+				v, err = vm.AS.ReadU64(addr)
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if vm.Hier != nil {
+				cost += vm.Hier.Access(addr, size, memsim.Read)
+			}
+			r[in.Rd] = v
+		case isa.STB, isa.STH, isa.STW, isa.ST:
+			addr := r[in.Rs1] + uint64(int64(in.Imm))
+			size := storeSize(in.Op)
+			var err error
+			switch in.Op {
+			case isa.STB:
+				err = vm.AS.WriteU8(addr, r[in.Rd])
+			case isa.STH:
+				err = vm.AS.WriteU16(addr, r[in.Rd])
+			case isa.STW:
+				err = vm.AS.WriteU32(addr, r[in.Rd])
+			default:
+				err = vm.AS.WriteU64(addr, r[in.Rd])
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if vm.Hier != nil {
+				cost += vm.Hier.Access(addr, size, memsim.Write)
+			}
+
+		case isa.BEQ:
+			if r[in.Rs1] == r[in.Rs2] {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.BNE:
+			if r[in.Rs1] != r[in.Rs2] {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.BLT:
+			if int64(r[in.Rs1]) < int64(r[in.Rs2]) {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.BGE:
+			if int64(r[in.Rs1]) >= int64(r[in.Rs2]) {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.BLTU:
+			if r[in.Rs1] < r[in.Rs2] {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.BGEU:
+			if r[in.Rs1] >= r[in.Rs2] {
+				next = branchTarget(pc, in.Imm)
+			}
+		case isa.JMP:
+			next = branchTarget(pc, in.Imm)
+		case isa.CALL:
+			r[isa.RegLR] = next
+			next = branchTarget(pc, in.Imm)
+		case isa.CALLR:
+			r[isa.RegLR] = next
+			next = r[in.Rs1]
+		case isa.RET:
+			next = r[isa.RegLR]
+
+		case isa.CALLG, isa.LDG:
+			if region.GotVA == 0 {
+				return fail(fmt.Errorf("%s executed outside a loaded module (untransformed jam?)", in))
+			}
+			slotVA := region.GotVA + uint64(in.Imm)*8
+			v, err := vm.AS.ReadU64(slotVA)
+			if err != nil {
+				return fail(err)
+			}
+			if vm.Hier != nil {
+				cost += vm.Hier.Access(slotVA, 8, memsim.Read)
+			}
+			if in.Op == isa.LDG {
+				r[in.Rd] = v
+			} else {
+				r[isa.RegLR] = next
+				next = v
+			}
+		case isa.CALLP, isa.LDP:
+			gp, err := vm.AS.ReadU64(region.GpSlotVA)
+			if err != nil {
+				return fail(fmt.Errorf("GOT pointer slot: %w", err))
+			}
+			slotVA := gp + uint64(in.Imm)*8
+			v, err := vm.AS.ReadU64(slotVA)
+			if err != nil {
+				return fail(fmt.Errorf("GOT slot %d via 0x%x: %w", in.Imm, gp, err))
+			}
+			if vm.Hier != nil {
+				cost += vm.Hier.Access(region.GpSlotVA, 8, memsim.Read)
+				cost += vm.Hier.Access(slotVA, 8, memsim.Read)
+			}
+			if in.Op == isa.LDP {
+				r[in.Rd] = v
+			} else {
+				r[isa.RegLR] = next
+				next = v
+			}
+		default:
+			return fail(fmt.Errorf("unimplemented opcode %d", in.Op))
+		}
+		pc = next
+	}
+
+	instrCost := model.Cycles(float64(instrs) * model.VMCyclesPerInstr)
+	total := cost + instrCost
+	vm.TotalInstrs += instrs
+	vm.TotalCost += total
+	return vm.regs[0], total, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func branchTarget(pc uint64, imm int32) uint64 {
+	return pc + uint64(int64(imm)*isa.InstrSize)
+}
+
+func loadSize(op isa.Op) int {
+	switch op {
+	case isa.LDB:
+		return 1
+	case isa.LDH:
+		return 2
+	case isa.LDW:
+		return 4
+	}
+	return 8
+}
+
+func storeSize(op isa.Op) int {
+	switch op {
+	case isa.STB:
+		return 1
+	case isa.STH:
+		return 2
+	case isa.STW:
+		return 4
+	}
+	return 8
+}
