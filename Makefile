@@ -1,0 +1,23 @@
+# Two-Chains build/test entry points. `make check` is the tier-1 gate CI
+# runs: vet, build, race tests, and a mesh benchmark smoke pass.
+
+GO ?= go
+
+.PHONY: check vet build test bench-smoke perf
+
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkMesh -benchtime 1x .
+
+perf:
+	$(GO) run ./cmd/tcperf -e mesh

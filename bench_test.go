@@ -19,6 +19,7 @@ import (
 	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/perf"
+	"twochains/internal/workload"
 )
 
 // run executes one benchmark point per b.N iteration batch: the simulated
@@ -199,6 +200,38 @@ func BenchmarkSSSumConvergence(b *testing.B) {
 		float64(loc.Samples.Median()) * 100
 	b.ReportMetric(gap, "gap_pct")
 }
+
+// --- mesh workload benchmarks (sharded many-node fabric) ---
+
+// runMesh executes one workload scenario per b.N batch and reports the
+// simulated injection rate. The scenario is seeded, so the reported
+// metrics are identical across runs.
+func runMesh(b *testing.B, p workload.Pattern, nodes int) {
+	b.Helper()
+	sc := workload.DefaultScenario(p, nodes)
+	sc.Rounds = 2
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RatePerSec, "sim_inj_per_sec")
+	b.ReportMetric(float64(res.Injections), "msgs")
+	b.ReportMetric(res.SimTime.Microseconds(), "sim_us")
+}
+
+// BenchmarkMeshFanout: node 0 broadcasts batched bursts to 7 peers.
+func BenchmarkMeshFanout(b *testing.B) { runMesh(b, workload.Fanout, 8) }
+
+// BenchmarkMeshAllToAll: dense exchange over the full 8-node channel mesh.
+func BenchmarkMeshAllToAll(b *testing.B) { runMesh(b, workload.AllToAll, 8) }
+
+// BenchmarkMeshHotspot: skewed traffic with a mid-run ried hot-swap on
+// the hot node.
+func BenchmarkMeshHotspot(b *testing.B) { runMesh(b, workload.Hotspot, 8) }
 
 // --- framework micro-benchmarks (host-time, not simulated time) ---
 

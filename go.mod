@@ -1,0 +1,3 @@
+module twochains
+
+go 1.21

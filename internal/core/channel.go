@@ -18,20 +18,23 @@ type ChannelOptions struct {
 }
 
 // Channel is one node's view of sending active messages to a peer. It owns
-// the mailbox sender, the namespace mirror from the exchange step, and the
-// per-element prepared jam cache.
+// the mailbox sender and the namespace mirror from the exchange step;
+// prepared jam images live in the sender node's shared cache, so channels
+// to identical receiver namespaces bind each element once between them.
 type Channel struct {
 	Src, Dst *Node
-	Sender   *mailbox.Sender
-	Opts     ChannelOptions
+	// Recv is the destination mailbox region this channel writes into.
+	Recv   *mailbox.Receiver
+	Sender *mailbox.Sender
+	Opts   ChannelOptions
 
 	// remoteNames is the snapshot of the receiver's namespace obtained in
 	// the out-of-band exchange; the sender binds travelling GOT entries
 	// from it (paper §III-B: "set by the sender after an exchange with
-	// the receiver").
+	// the receiver"). remoteFP is its fingerprint, the jam-cache key.
 	remoteNames map[string]uint64
+	remoteFP    uint64
 
-	prepared  map[string]*preparedJam
 	injectCnt map[string]int
 }
 
@@ -46,91 +49,77 @@ type preparedJam struct {
 	elemID  uint8
 }
 
-// Connect opens a channel from src to dst. dst must have its mailbox
-// enabled. The connection performs the namespace exchange and wires the
-// credit return path when credits are on.
+// Connect opens a channel from src to dst over dst's primary mailbox. dst
+// must have its mailbox enabled. The connection performs the namespace
+// exchange and wires the credit return path when credits are on.
 func Connect(src, dst *Node, opts ChannelOptions) (*Channel, error) {
 	if dst.Receiver == nil {
 		return nil, fmt.Errorf("core: connect %s->%s: destination has no mailbox", src.Name, dst.Name)
 	}
-	if opts.Sender.Geometry.FrameSize == 0 {
-		opts.Sender.Geometry = dst.Receiver.Cfg.Geometry
+	return ConnectTo(src, dst, dst.Receiver, opts)
+}
+
+// ConnectTo opens a channel from src into a specific mailbox region on
+// dst. A region admits one remote writer, so mesh deployments arm one
+// region per inbound channel (Node.AddMailbox) and connect each sender to
+// its own.
+func ConnectTo(src, dst *Node, recv *mailbox.Receiver, opts ChannelOptions) (*Channel, error) {
+	return connectTo(src, dst, recv, opts, nil, 0)
+}
+
+// connectTo is ConnectTo with an optional pre-computed namespace exchange
+// (names, fp): callers wiring many channels into one receiver node (the
+// mesh) snapshot and fingerprint once and share it read-only.
+func connectTo(src, dst *Node, recv *mailbox.Receiver, opts ChannelOptions, names map[string]uint64, fp uint64) (*Channel, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("core: connect %s->%s: nil mailbox receiver", src.Name, dst.Name)
 	}
-	if opts.Sender.Geometry != dst.Receiver.Cfg.Geometry {
+	if opts.Sender.Geometry.FrameSize == 0 {
+		opts.Sender.Geometry = recv.Cfg.Geometry
+	}
+	if opts.Sender.Geometry != recv.Cfg.Geometry {
 		return nil, fmt.Errorf("core: connect %s->%s: geometry mismatch", src.Name, dst.Name)
 	}
-	opts.Sender.Credits = dst.Receiver.Cfg.Credits
+	opts.Sender.Credits = recv.Cfg.Credits
 
 	ep := src.Worker.Connect(dst.Worker)
 	snd, err := mailbox.NewSender(src.Worker, ep, opts.Sender,
-		dst.Receiver.BaseVA, dst.Receiver.Mem.Key, src.Counter)
+		recv.BaseVA, recv.Mem.Key, src.Counter)
 	if err != nil {
 		return nil, err
 	}
 	ch := &Channel{
 		Src:       src,
 		Dst:       dst,
+		Recv:      recv,
 		Sender:    snd,
 		Opts:      opts,
-		prepared:  map[string]*preparedJam{},
 		injectCnt: map[string]int{},
 	}
 	if opts.Sender.Credits {
-		dst.Receiver.SetCreditReturn(dst.Worker.Connect(src.Worker), snd.CreditVA, snd.CreditMem.Key)
+		recv.SetCreditReturn(dst.Worker.Connect(src.Worker), snd.CreditVA, snd.CreditMem.Key)
 	}
-	ch.RefreshNames()
+	if names != nil {
+		ch.remoteNames, ch.remoteFP = names, fp
+	} else {
+		ch.RefreshNames()
+	}
 	return ch, nil
 }
 
 // RefreshNames re-runs the namespace exchange, picking up symbols from
-// rieds loaded on the receiver since the last exchange.
+// rieds loaded on the receiver since the last exchange. Prepared images
+// bound against the old namespace stay in the sender's cache but are no
+// longer referenced: the new fingerprint keys fresh bindings.
 func (ch *Channel) RefreshNames() {
 	ch.remoteNames = ch.Dst.NS.Snapshot()
-	// Bindings may have moved: drop prepared images.
-	ch.prepared = map[string]*preparedJam{}
+	ch.remoteFP = nsFingerprint(ch.remoteNames)
 }
 
-// prepareJam binds a jam element's extern GOT entries against the remote
-// namespace and caches the result.
+// prepareJam returns the element's image bound against the remote
+// namespace, via the sender node's shared cache.
 func (ch *Channel) prepareJam(pkgName, elemName string) (*preparedJam, error) {
-	key := pkgName + "/" + elemName
-	if pj, ok := ch.prepared[key]; ok {
-		return pj, nil
-	}
-	inst, ok := ch.Src.Package(pkgName)
-	if !ok {
-		return nil, fmt.Errorf("core: %s: package %s not installed on sender", ch.Src.Name, pkgName)
-	}
-	elem, ok := inst.Pkg.Element(elemName)
-	if !ok || elem.Kind != ElemJam {
-		return nil, fmt.Errorf("core: %s: no jam %q in package %s", ch.Src.Name, elemName, pkgName)
-	}
-	j := elem.Jam
-
-	pj := &preparedJam{
-		gotLen:  j.GotTableLen(),
-		textLen: j.TextLen,
-		entry:   j.Entry,
-		pkgID:   inst.ID,
-		elemID:  elem.ID,
-	}
-	// Image: [GOT table][gp slot placeholder][body].
-	pj.image = make([]byte, j.ShippedSize())
-	copy(pj.image[pj.gotLen+8:], j.Body)
-	for i, g := range j.Got {
-		if g.Local {
-			pj.patches = append(pj.patches, mailbox.GotPatch{Slot: i, BodyOff: g.Off})
-			continue
-		}
-		va, ok := ch.remoteNames[g.Name]
-		if !ok {
-			return nil, fmt.Errorf("core: %s->%s: jam %s needs symbol %q, absent from receiver namespace (load the ried first)",
-				ch.Src.Name, ch.Dst.Name, elemName, g.Name)
-		}
-		putU64(pj.image[i*8:], va)
-	}
-	ch.prepared[key] = pj
-	return pj, nil
+	return ch.Src.jams.prepare(ch.Src, pkgName, elemName, ch.Dst.Name, ch.remoteNames, ch.remoteFP)
 }
 
 func putU64(b []byte, v uint64) {
@@ -181,6 +170,63 @@ func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, 
 		Usr:         usr,
 	}
 	ch.Sender.Send(msg, wrapDone(done, true))
+	return nil
+}
+
+// InjectBurst sends one Injected Function message per args entry in a
+// single batched operation: the jam is prepared once and the mailbox
+// sender coalesces contiguous frame slots into single puts, amortizing the
+// per-put setup across the burst. usr is the shared payload. Bursts bypass
+// the auto-switch heuristic (they are an explicit bulk-injection choice).
+// done, when non-nil, fires once per message.
+func (ch *Channel) InjectBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	pj, err := ch.prepareJam(pkgName, elemName)
+	if err != nil {
+		return err
+	}
+	msgs := make([]*mailbox.Message, len(argsBatch))
+	for i, args := range argsBatch {
+		msgs[i] = &mailbox.Message{
+			Kind:        mailbox.KindInjected,
+			PkgID:       pj.pkgID,
+			ElemID:      pj.elemID,
+			JamImage:    pj.image,
+			GotTableLen: pj.gotLen,
+			TextLen:     pj.textLen,
+			EntryOff:    pj.entry,
+			Patches:     pj.patches,
+			Args:        args,
+			Usr:         usr,
+		}
+	}
+	ch.Sender.SendBatch(msgs, wrapDone(done, true))
+	return nil
+}
+
+// CallLocalBurst sends one Local Function message per args entry as a
+// batch, coalescing contiguous frames like InjectBurst.
+func (ch *Channel) CallLocalBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	inst, ok := ch.Dst.Package(pkgName)
+	if !ok {
+		return fmt.Errorf("core: %s->%s: package %s not installed on receiver",
+			ch.Src.Name, ch.Dst.Name, pkgName)
+	}
+	elem, ok := inst.Pkg.Element(elemName)
+	if !ok || elem.Kind != ElemJam {
+		return fmt.Errorf("core: %s->%s: no jam %q in package %s",
+			ch.Src.Name, ch.Dst.Name, elemName, pkgName)
+	}
+	msgs := make([]*mailbox.Message, len(argsBatch))
+	for i, args := range argsBatch {
+		msgs[i] = mailbox.PackLocal(inst.ID, elem.ID, args, usr)
+	}
+	ch.Sender.SendBatch(msgs, wrapDone(done, false))
 	return nil
 }
 

@@ -100,11 +100,18 @@ type Node struct {
 	Counter *cpusim.Counter
 	Stdout  bytes.Buffer
 
-	Receiver *mailbox.Receiver
+	// Receiver is the primary mailbox (EnableMailbox); Receivers holds
+	// every armed mailbox region, one per inbound channel in mesh
+	// deployments (AddMailbox).
+	Receiver  *mailbox.Receiver
+	Receivers []*mailbox.Receiver
 
 	pkgs     map[string]*InstalledPackage
 	nextPkg  uint8
 	execArea uint64 // SecureExec scratch
+	// jams is the sender-side prepared-jam cache shared by every outgoing
+	// channel of this node (bind once per element + receiver namespace).
+	jams *jamCache
 	// OnExecuted observes every handler execution (benchmark hook).
 	OnExecuted func(ret uint64, cost sim.Duration, err error)
 }
@@ -132,6 +139,7 @@ func (c *Cluster) AddNode(name string, cfg NodeConfig) (*Node, error) {
 		AS:      mem.NewAddressSpace(cfg.MemBytes),
 		NS:      linker.NewNamespace(),
 		pkgs:    map[string]*InstalledPackage{},
+		jams:    newJamCache(),
 	}
 	if cfg.Timing {
 		mc := memsim.DefaultConfig()

@@ -276,6 +276,212 @@ func TestRunawayJamIsBounded(t *testing.T) {
 	}
 }
 
+// --- mesh workload equivalence: every traffic pattern of the sharded
+// many-node fabric must execute injected code identically to the native
+// oracle on every node ---
+
+// meshBench builds an n-node mesh with tcbench installed everywhere and a
+// per-node return collector.
+func meshBench(t *testing.T, nodes, shards int) (*Mesh, [][]uint64) {
+	t.Helper()
+	cfg := DefaultMeshConfig(nodes)
+	cfg.Shards = shards
+	cfg.Node = quickCfg()
+	cfg.Geometry = mailbox.Geometry{Banks: 2, Slots: 4, FrameSize: 2048}
+	m, err := NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := BuildBenchPackage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	rets := make([][]uint64, nodes)
+	for i := 0; i < nodes; i++ {
+		node := i
+		m.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+			if err != nil {
+				t.Errorf("node %d exec: %v", node, err)
+			}
+			rets[node] = append(rets[node], ret)
+		}
+	}
+	return m, rets
+}
+
+// TestMeshFanoutNativeOracle: a fan-out broadcast of Server-Side Sum
+// executes on every receiver with the natively computed sum.
+func TestMeshFanoutNativeOracle(t *testing.T) {
+	const nodes, rounds = 8, 3
+	m, rets := meshBench(t, nodes, 2)
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	want := expectedSum(payload)
+	for r := 0; r < rounds; r++ {
+		for dst := 1; dst < nodes; dst++ {
+			ch, err := m.Channel(0, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Run()
+	if len(rets[0]) != 0 {
+		t.Errorf("root executed %d messages", len(rets[0]))
+	}
+	for n := 1; n < nodes; n++ {
+		if len(rets[n]) != rounds {
+			t.Errorf("node %d executed %d, want %d", n, len(rets[n]), rounds)
+		}
+		for _, r := range rets[n] {
+			if r != want {
+				t.Errorf("node %d: ret %d, want native %d", n, r, want)
+			}
+		}
+	}
+}
+
+// TestMeshAllToAllNativeOracle: an all-to-all exchange where every node
+// sends each peer one Injected and one Local invocation of the same
+// source; both methods must match the native oracle on every node.
+func TestMeshAllToAllNativeOracle(t *testing.T) {
+	const nodes = 8
+	m, rets := meshBench(t, nodes, 2)
+	payload := make([]byte, 56)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	want := expectedSum(payload)
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			ch, err := m.Channel(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := ch.CallLocal("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Run()
+	for n := 0; n < nodes; n++ {
+		if len(rets[n]) != 2*(nodes-1) {
+			t.Errorf("node %d executed %d, want %d", n, len(rets[n]), 2*(nodes-1))
+		}
+		for _, r := range rets[n] {
+			if r != want {
+				t.Errorf("node %d: ret %d, want native %d (injected and local must agree)", n, r, want)
+			}
+		}
+	}
+}
+
+// TestMeshHotspotHotSwapOracle: skewed Indirect Put traffic into a hot
+// node, then a ried hot-swap rebinding the server state, then the same key
+// sequence again. The oracle: hashing is a pure function of the key
+// sequence, so a fresh table must reproduce the first epoch's offsets
+// exactly, and the swap must actually move the bound state symbols.
+func TestMeshHotspotHotSwapOracle(t *testing.T) {
+	const nodes, hot = 8, 3
+	m, rets := meshBench(t, nodes, 2)
+	payload := []byte("hotspot epoch payload")
+	keys := []uint64{7, 99, 7, 40503, 7777, 99, 12}
+
+	epoch := func() []uint64 {
+		start := len(rets[hot])
+		ch, err := m.Channel(1, hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := ch.Inject("tcbench", "jam_iput", [2]uint64{k, 0}, payload, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Background load on the non-hot nodes, oracle-checked below.
+		for dst := 0; dst < nodes; dst++ {
+			if dst == hot || dst == 1 {
+				continue
+			}
+			bg, err := m.Channel(1, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bg.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Run()
+		return rets[hot][start:]
+	}
+
+	first := epoch()
+	if len(first) != len(keys) {
+		t.Fatalf("epoch 1 executed %d of %d", len(first), len(keys))
+	}
+	// Same key -> same offset within the epoch (7 at 0/2, 99 at 1/5).
+	if first[0] != first[2] || first[1] != first[5] {
+		t.Fatalf("repeated-key offsets unstable in epoch 1: %v", first)
+	}
+
+	tableBefore, _ := m.Node(hot).SymbolVA("tc_table")
+	spkg, err := BuildPackage("kvbench-swap", map[string]string{
+		"ried_kvbench.rds": RiedKVBenchSrc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range spkg.Elements {
+		if e.Kind != ElemRied {
+			continue
+		}
+		if _, err := m.Node(hot).InstallRied(e.Ried, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RefreshNames(hot)
+	tableAfter, _ := m.Node(hot).SymbolVA("tc_table")
+	if tableBefore == tableAfter {
+		t.Fatal("hot-swap did not rebind tc_table")
+	}
+
+	second := epoch()
+	if len(second) != len(keys) {
+		t.Fatalf("epoch 2 executed %d of %d", len(second), len(keys))
+	}
+	for i := range keys {
+		if first[i] != second[i] {
+			t.Fatalf("offset sequence diverged after hot-swap: epoch1 %v, epoch2 %v", first, second)
+		}
+	}
+	// The background sssum traffic stayed native-correct throughout.
+	want := expectedSum(payload)
+	for n := 0; n < nodes; n++ {
+		if n == hot || n == 1 {
+			continue
+		}
+		for _, r := range rets[n] {
+			if r != want {
+				t.Errorf("node %d background ret %d, want %d", n, r, want)
+			}
+		}
+	}
+}
+
 // TestDeterministicRuns: the same seed produces bit-identical simulated
 // timings across full benchmark deployments.
 func TestDeterministicRuns(t *testing.T) {

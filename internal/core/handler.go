@@ -9,20 +9,33 @@ import (
 	"twochains/internal/sim"
 )
 
-// EnableMailbox arms this node's reactive mailbox with the given
+// EnableMailbox arms this node's primary reactive mailbox with the given
 // configuration; inbound active messages dispatch through the node's VM.
 // It must be called before peers Connect to the node.
 func (n *Node) EnableMailbox(cfg mailbox.ReceiverConfig) error {
 	if n.Receiver != nil {
 		return fmt.Errorf("core: node %s: mailbox already enabled", n.Name)
 	}
-	recv, err := mailbox.NewReceiver(n.Worker, cfg, n.Counter, n.dispatch)
+	recv, err := n.AddMailbox(cfg)
 	if err != nil {
 		return err
 	}
 	n.Receiver = recv
-	recv.Start()
 	return nil
+}
+
+// AddMailbox arms an additional, independently sequenced mailbox region on
+// this node and returns its receiver. A mailbox region admits a single
+// remote writer (slot sequencing is per-sender), so many-node fabrics give
+// every inbound channel its own region; ConnectTo targets one explicitly.
+func (n *Node) AddMailbox(cfg mailbox.ReceiverConfig) (*mailbox.Receiver, error) {
+	recv, err := mailbox.NewReceiver(n.Worker, cfg, n.Counter, n.dispatch)
+	if err != nil {
+		return nil, err
+	}
+	n.Receivers = append(n.Receivers, recv)
+	recv.Start()
+	return recv, nil
 }
 
 // dispatch executes one delivered active message. It implements both

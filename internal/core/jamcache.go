@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"twochains/internal/mailbox"
+)
+
+// JamCacheStats counts prepared-jam cache activity on one sender node.
+type JamCacheStats struct {
+	// Binds is the number of bind operations actually performed (cache
+	// misses); Hits is the number of lookups served from the cache.
+	Binds uint64
+	Hits  uint64
+}
+
+// jamCacheKey identifies a prepared jam: the element plus a fingerprint of
+// the receiver namespace it was bound against. Two channels whose
+// receivers expose identical namespaces (the common case in a mesh, where
+// every node installs the same packages in the same order) share one
+// prepared image.
+type jamCacheKey struct {
+	pkg, elem string
+	nsFP      uint64
+}
+
+// jamCacheGenerations bounds the live namespace generations cached per
+// element. Distinct fingerprints coexist legitimately (channels to
+// receivers with different namespaces), but ried hot-swaps keep minting
+// new ones; beyond the cap the oldest binding is evicted and would simply
+// rebind on next use.
+const jamCacheGenerations = 8
+
+// jamCache is the per-sender prepared-jam cache. Binding a jam's
+// travelling GOT against a receiver namespace is the expensive part of an
+// inject; the cache performs it once per element + receiver-namespace and
+// reuses the image across every channel and message. A receiver-side ried
+// load changes the namespace fingerprint, so stale images stop being
+// referenced and age out of the per-element generation ring.
+type jamCache struct {
+	entries map[jamCacheKey]*preparedJam
+	// gens tracks insertion order of fingerprints per element, oldest
+	// first, for generation eviction.
+	gens  map[[2]string][]jamCacheKey
+	stats JamCacheStats
+}
+
+func newJamCache() *jamCache {
+	return &jamCache{
+		entries: map[jamCacheKey]*preparedJam{},
+		gens:    map[[2]string][]jamCacheKey{},
+	}
+}
+
+// JamCacheStats returns a copy of this node's sender-side cache counters.
+func (n *Node) JamCacheStats() JamCacheStats { return n.jams.stats }
+
+// nsFingerprint hashes a namespace snapshot (FNV-1a over sorted
+// name=va pairs) into the cache key component.
+func nsFingerprint(names map[string]uint64) uint64 {
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			mix(k[i])
+		}
+		mix(0)
+		va := names[k]
+		for i := 0; i < 8; i++ {
+			mix(byte(va >> (8 * i)))
+		}
+	}
+	return h
+}
+
+// prepare returns the prepared image of the element bound against the
+// given receiver namespace, binding and caching it on first use.
+func (c *jamCache) prepare(src *Node, pkgName, elemName, dstName string, names map[string]uint64, nsFP uint64) (*preparedJam, error) {
+	key := jamCacheKey{pkg: pkgName, elem: elemName, nsFP: nsFP}
+	if pj, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		return pj, nil
+	}
+	pj, err := bindJam(src, pkgName, elemName, dstName, names)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Binds++
+	c.entries[key] = pj
+	elem := [2]string{pkgName, elemName}
+	c.gens[elem] = append(c.gens[elem], key)
+	if g := c.gens[elem]; len(g) > jamCacheGenerations {
+		delete(c.entries, g[0])
+		c.gens[elem] = g[1:]
+	}
+	return pj, nil
+}
+
+// bindJam binds a jam element's extern GOT entries against a receiver
+// namespace snapshot, producing the shippable image.
+func bindJam(src *Node, pkgName, elemName, dstName string, names map[string]uint64) (*preparedJam, error) {
+	inst, ok := src.Package(pkgName)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: package %s not installed on sender", src.Name, pkgName)
+	}
+	elem, ok := inst.Pkg.Element(elemName)
+	if !ok || elem.Kind != ElemJam {
+		return nil, fmt.Errorf("core: %s: no jam %q in package %s", src.Name, elemName, pkgName)
+	}
+	j := elem.Jam
+
+	pj := &preparedJam{
+		gotLen:  j.GotTableLen(),
+		textLen: j.TextLen,
+		entry:   j.Entry,
+		pkgID:   inst.ID,
+		elemID:  elem.ID,
+	}
+	// Image: [GOT table][gp slot placeholder][body].
+	pj.image = make([]byte, j.ShippedSize())
+	copy(pj.image[pj.gotLen+8:], j.Body)
+	for i, g := range j.Got {
+		if g.Local {
+			pj.patches = append(pj.patches, mailbox.GotPatch{Slot: i, BodyOff: g.Off})
+			continue
+		}
+		va, ok := names[g.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: %s->%s: jam %s needs symbol %q, absent from receiver namespace (load the ried first)",
+				src.Name, dstName, elemName, g.Name)
+		}
+		putU64(pj.image[i*8:], va)
+	}
+	return pj, nil
+}

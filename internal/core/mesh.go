@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"twochains/internal/cpusim"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+// MeshConfig sizes a many-node injection fabric.
+type MeshConfig struct {
+	// Nodes is the process count (>= 2).
+	Nodes int
+	// Shards partitions the nodes across fabric shards (leaf domains of a
+	// two-tier topology). Nodes are assigned in contiguous blocks;
+	// cross-shard traffic serializes through the shared spine uplinks.
+	Shards int
+
+	Cluster ClusterConfig
+	Node    NodeConfig
+
+	// Geometry is the per-channel mailbox shape; Credits arms bank-flag
+	// flow control on every channel; WaitMode applies to both sides.
+	Geometry mailbox.Geometry
+	Credits  bool
+	WaitMode cpusim.WaitMode
+
+	// Channel is the sender-options template applied to every channel
+	// (geometry and credits are filled in per destination).
+	Channel ChannelOptions
+}
+
+// defaultGeometry is the mesh's per-channel mailbox shape unless the
+// caller overrides it.
+func defaultGeometry() mailbox.Geometry {
+	return mailbox.Geometry{Banks: 4, Slots: 8, FrameSize: 2048}
+}
+
+// DefaultMeshConfig returns a paper-testbed-flavoured mesh of n nodes:
+// banked mailboxes with credits, two fabric shards once the mesh is big
+// enough for the split to mean anything.
+func DefaultMeshConfig(n int) MeshConfig {
+	shards := 1
+	if n >= 4 {
+		shards = 2
+	}
+	return MeshConfig{
+		Nodes:    n,
+		Shards:   shards,
+		Cluster:  DefaultClusterConfig(),
+		Node:     DefaultNodeConfig(),
+		Geometry: defaultGeometry(),
+		Credits:  true,
+	}
+}
+
+// Mesh is a sharded many-node injection fabric: N nodes on one simulated
+// RDMA network, partitioned across fabric shards, with channels created on
+// demand so full and partial meshes emerge from the traffic pattern.
+// Every channel gets its own mailbox region on the destination (a region
+// admits one remote writer), and all channels of one sender share the
+// node's prepared-jam cache — an element is bound once per receiver
+// namespace, not once per channel.
+type Mesh struct {
+	Cfg     MeshConfig
+	Cluster *Cluster
+
+	nodes   []*Node
+	shardOf []int
+	chans   map[[2]int]*Channel
+	// nsMemo caches each node's namespace snapshot + fingerprint so N
+	// inbound channels share one exchange instead of re-computing it.
+	nsMemo map[int]nsSnap
+	rng    *sim.RNG
+}
+
+// nsSnap is a memoized namespace exchange.
+type nsSnap struct {
+	names map[string]uint64
+	fp    uint64
+}
+
+// NewMesh builds the cluster and its nodes and assigns fabric shards.
+// Mailboxes and channels are created lazily by Channel.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("core: mesh needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Nodes {
+		cfg.Shards = cfg.Nodes
+	}
+	// Default only the zero fields: caller-set banks/slots survive a
+	// missing frame size and vice versa.
+	def := defaultGeometry()
+	if cfg.Geometry.Banks == 0 {
+		cfg.Geometry.Banks = def.Banks
+	}
+	if cfg.Geometry.Slots == 0 {
+		cfg.Geometry.Slots = def.Slots
+	}
+	if cfg.Geometry.FrameSize == 0 {
+		cfg.Geometry.FrameSize = def.FrameSize
+	}
+	cl := NewCluster(cfg.Cluster)
+	m := &Mesh{
+		Cfg:     cfg,
+		Cluster: cl,
+		chans:   map[[2]int]*Channel{},
+		nsMemo:  map[int]nsSnap{},
+		rng:     sim.NewRNG(cfg.Cluster.Seed ^ 0x6d657368), // "mesh"
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := cl.AddNode(fmt.Sprintf("n%02d", i), cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+		shard := i * cfg.Shards / cfg.Nodes
+		cl.Fabric.AssignDomain(n.Worker.NIC, shard)
+		m.nodes = append(m.nodes, n)
+		m.shardOf = append(m.shardOf, shard)
+	}
+	return m, nil
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return len(m.nodes) }
+
+// Node returns node i.
+func (m *Mesh) Node(i int) *Node { return m.nodes[i] }
+
+// ShardOf reports the fabric shard node i lives in.
+func (m *Mesh) ShardOf(i int) int { return m.shardOf[i] }
+
+// RNG is the mesh's deterministic random stream, derived from the cluster
+// seed. All workload randomness must come from here (or a Split of it) so
+// identical seeds replay identical runs.
+func (m *Mesh) RNG() *sim.RNG { return m.rng }
+
+// InstallPackage installs pkg on every node and invalidates the memoized
+// namespace exchanges (the install defines new symbols everywhere).
+// Channels connected before the install keep their old snapshot until
+// RefreshNames, matching ConnectTo semantics.
+func (m *Mesh) InstallPackage(pkg *Package) error {
+	for _, n := range m.nodes {
+		if _, err := n.InstallPackage(pkg); err != nil {
+			return err
+		}
+	}
+	m.nsMemo = map[int]nsSnap{}
+	return nil
+}
+
+// receiverConfig builds the per-channel receiver configuration.
+func (m *Mesh) receiverConfig() mailbox.ReceiverConfig {
+	rcfg := mailbox.DefaultReceiverConfig(m.Cfg.Geometry)
+	rcfg.Credits = m.Cfg.Credits
+	rcfg.WaitMode = m.Cfg.WaitMode
+	return rcfg
+}
+
+// Channel returns the src->dst channel, creating it (and its dedicated
+// mailbox region on dst) on first use.
+func (m *Mesh) Channel(src, dst int) (*Channel, error) {
+	if src < 0 || src >= len(m.nodes) || dst < 0 || dst >= len(m.nodes) {
+		return nil, fmt.Errorf("core: mesh channel %d->%d out of range (%d nodes)", src, dst, len(m.nodes))
+	}
+	if src == dst {
+		return nil, fmt.Errorf("core: mesh channel %d->%d is a self-loop", src, dst)
+	}
+	key := [2]int{src, dst}
+	if ch, ok := m.chans[key]; ok {
+		return ch, nil
+	}
+	recv, err := m.nodes[dst].AddMailbox(m.receiverConfig())
+	if err != nil {
+		return nil, err
+	}
+	opts := m.Cfg.Channel
+	opts.Sender.Geometry = m.Cfg.Geometry
+	opts.Sender.WaitMode = m.Cfg.WaitMode
+	snap, ok := m.nsMemo[dst]
+	if !ok {
+		snap.names = m.nodes[dst].NS.Snapshot()
+		snap.fp = nsFingerprint(snap.names)
+		m.nsMemo[dst] = snap
+	}
+	ch, err := connectTo(m.nodes[src], m.nodes[dst], recv, opts, snap.names, snap.fp)
+	if err != nil {
+		// Un-arm the region so a retry doesn't accumulate orphan
+		// receivers (the address space itself is bump-allocated and not
+		// reclaimable).
+		rs := m.nodes[dst].Receivers
+		if len(rs) > 0 && rs[len(rs)-1] == recv {
+			m.nodes[dst].Receivers = rs[:len(rs)-1]
+		}
+		return nil, err
+	}
+	m.chans[key] = ch
+	return ch, nil
+}
+
+// ConnectFull eagerly creates every ordered pair's channel.
+func (m *Mesh) ConnectFull() error {
+	for s := 0; s < len(m.nodes); s++ {
+		for d := 0; d < len(m.nodes); d++ {
+			if s == d {
+				continue
+			}
+			if _, err := m.Channel(s, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Channels returns the currently connected channel count.
+func (m *Mesh) Channels() int { return len(m.chans) }
+
+// EachChannel visits every connected channel in deterministic order.
+func (m *Mesh) EachChannel(fn func(src, dst int, ch *Channel)) {
+	for s := 0; s < len(m.nodes); s++ {
+		for d := 0; d < len(m.nodes); d++ {
+			if ch, ok := m.chans[[2]int{s, d}]; ok {
+				fn(s, d, ch)
+			}
+		}
+	}
+}
+
+// RefreshNames re-runs the namespace exchange on every channel into dst
+// (after a ried install on dst changed its bindings). The snapshot and
+// fingerprint are computed once and shared read-only by all inbound
+// channels, instead of once per channel.
+func (m *Mesh) RefreshNames(dst int) {
+	if dst < 0 || dst >= len(m.nodes) {
+		return
+	}
+	snap := nsSnap{names: m.nodes[dst].NS.Snapshot()}
+	snap.fp = nsFingerprint(snap.names)
+	m.nsMemo[dst] = snap
+	m.EachChannel(func(_, d int, ch *Channel) {
+		if d == dst {
+			ch.remoteNames, ch.remoteFP = snap.names, snap.fp
+		}
+	})
+}
+
+// Run processes events until the mesh is quiescent.
+func (m *Mesh) Run() { m.Cluster.Run() }
+
+// MeshStats aggregates fabric-wide activity.
+type MeshStats struct {
+	Channels      int
+	Sent          uint64
+	CreditStalls  uint64
+	Batches       uint64
+	BatchedFrames uint64
+	Processed     uint64
+	Errors        uint64
+	JamBinds      uint64
+	JamHits       uint64
+}
+
+// Stats sums sender, receiver, and jam-cache counters over the mesh.
+func (m *Mesh) Stats() MeshStats {
+	st := MeshStats{Channels: len(m.chans)}
+	m.EachChannel(func(_, _ int, ch *Channel) {
+		ss := ch.Sender.Stats()
+		st.Sent += ss.Sent
+		st.CreditStalls += ss.CreditStalls
+		st.Batches += ss.Batches
+		st.BatchedFrames += ss.BatchedFrames
+	})
+	for _, n := range m.nodes {
+		for _, r := range n.Receivers {
+			rs := r.Stats()
+			st.Processed += rs.Processed
+			st.Errors += rs.Errors
+		}
+		js := n.JamCacheStats()
+		st.JamBinds += js.Binds
+		st.JamHits += js.Hits
+	}
+	return st
+}

@@ -107,7 +107,8 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 		eng:     w.Ctx.Fabric.Engine,
 		nextSeq: 1,
 	}
-	w.NIC.SetDeliveryHook(func(va uint64, size int) { r.poke() })
+	w.NIC.AddDeliveryHookRange(base, cfg.Geometry.RegionSize(),
+		func(va uint64, size int) { r.poke() })
 	return r, nil
 }
 

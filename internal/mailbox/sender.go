@@ -37,6 +37,10 @@ type SendInfo struct {
 type SenderStats struct {
 	Sent         uint64
 	CreditStalls uint64
+	// Batches counts thin puts that carried more than one frame;
+	// BatchedFrames counts the frames they carried.
+	Batches       uint64
+	BatchedFrames uint64
 }
 
 // Sender streams frames into a remote mailbox region.
@@ -106,11 +110,8 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 			}
 		}
 		// Resume stalled sends when the receiver returns a credit.
-		w.NIC.SetDeliveryHook(func(dva uint64, size int) {
-			if dva >= va && dva < va+uint64(cfg.Geometry.Banks*8) {
-				s.drain()
-			}
-		})
+		w.NIC.AddDeliveryHookRange(va, cfg.Geometry.Banks*8,
+			func(dva uint64, size int) { s.drain() })
 	}
 	return s, nil
 }
@@ -200,6 +201,120 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 		// Ordered fabric, fixed frames: the entire message in one put.
 		s.Ep.PutThin(stagingVA, dstVA, frameSize, s.RemoteKey, report)
 	}
+}
+
+// SendBatch transmits a burst of messages, amortizing the thin-put setup
+// (post, doorbell, protocol tier) across the burst: frames are packed into
+// consecutive mailbox slots and every contiguous run of slots ships as one
+// put, so a sender pays the per-put software cost once per run instead of
+// once per frame. Runs break at the mailbox region wrap and at credit
+// stalls; messages past a stall queue in order and go out one by one when
+// the receiver returns the bank flag. done (when non-nil) fires once per
+// message. On fabrics without the write-order guarantee the batch
+// degenerates to individual fenced sends — the separate-signal protocol
+// puts a fence between every body and its signal, which a single coalesced
+// put cannot express.
+func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
+	if s.Cfg.SeparateSignal || len(s.stalled) > 0 {
+		for _, m := range msgs {
+			s.Send(m, done)
+		}
+		return
+	}
+	g := s.Cfg.Geometry
+	frameSize := g.FrameSize
+
+	var runStart uint64 // staging offset of the current contiguous run
+	var runBytes int
+	var runDones []func(SendInfo)
+
+	flush := func() {
+		if runBytes == 0 {
+			return
+		}
+		frames := runBytes / frameSize
+		if frames > 1 {
+			s.stats.Batches++
+			s.stats.BatchedFrames += uint64(frames)
+		}
+		dones := runDones
+		runDones = nil
+		src, dst := s.staging+runStart, s.RemoteBase+runStart
+		n := runBytes
+		runBytes = 0
+		s.Ep.PutThin(src, dst, n, s.RemoteKey, func(err error, t sim.Time) {
+			for _, d := range dones {
+				if d != nil {
+					d(SendInfo{Err: err, Delivered: t})
+				}
+			}
+		})
+	}
+
+	for i, msg := range msgs {
+		seq := s.seq
+		bank, slot, off := g.SlotFor(seq)
+
+		if s.Cfg.Credits && slot == 0 {
+			flagVA := s.CreditVA + uint64(bank*8)
+			flag, err := s.Worker.AS.ReadU64(flagVA)
+			if err != nil {
+				s.finish(done, SendInfo{Seq: seq, Err: err})
+				continue
+			}
+			if flag == 0 {
+				// Bank owned by the receiver: ship what we have and queue
+				// the rest behind the stall, exactly like Send would.
+				flush()
+				s.stallAt = s.eng.Now()
+				s.stats.CreditStalls++
+				for _, m := range msgs[i:] {
+					s.stalled = append(s.stalled, queuedSend{m, done})
+				}
+				return
+			}
+			if err := s.Worker.AS.WriteU64(flagVA, 0); err != nil {
+				s.finish(done, SendInfo{Seq: seq, Err: err})
+				continue
+			}
+		}
+		if runBytes > 0 && off != runStart+uint64(runBytes) {
+			// Region wrapped: the next slot is not contiguous in memory.
+			flush()
+		}
+		if runBytes == 0 {
+			runStart = off
+		}
+		s.seq++
+
+		buf, err := s.Worker.AS.View(s.staging+off, frameSize)
+		if err != nil {
+			s.finish(done, SendInfo{Seq: seq, Err: err})
+			continue
+		}
+		if err := msg.Pack(buf, frameSize, seq, s.RemoteBase+off); err != nil {
+			s.finish(done, SendInfo{Seq: seq, Err: err})
+			continue
+		}
+		s.stats.Sent++
+		if msg.Kind == KindInjected {
+			entries := msg.GotTableLen/8 + 1
+			patch := sim.Duration(entries) * model.GOTPatchPerEntry
+			s.Worker.CPU.Claim(s.eng.Now(), patch)
+			if s.Counter != nil {
+				s.Counter.Work(patch)
+			}
+		}
+		seqCopy := seq
+		runDones = append(runDones, func(info SendInfo) {
+			if done != nil {
+				info.Seq = seqCopy
+				done(info)
+			}
+		})
+		runBytes += frameSize
+	}
+	flush()
 }
 
 func (s *Sender) finish(done func(SendInfo), info SendInfo) {

@@ -78,6 +78,9 @@ var (
 	NicPerMsg = sim.FromNanos(48)
 	// PCIeHdrBytes approximates per-TLP overhead folded into wire time.
 	PCIeHdrBytes = 24
+	// UplinkHopLat is the extra one-way latency of crossing the spine
+	// switch between two fabric shards (store-and-forward + arbitration).
+	UplinkHopLat = sim.FromNanos(260)
 )
 
 // WireTime returns the serialization time of n payload bytes on the link.

@@ -1,0 +1,61 @@
+package perf
+
+import (
+	"fmt"
+
+	"twochains/internal/workload"
+)
+
+func init() {
+	register("mesh", "Sharded mesh: mixed-workload injection rates by pattern and node count", meshExp)
+}
+
+// meshIters scales the per-sender round count with the option multiplier.
+func meshIters(o Options) int {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	n := int(2 * o.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// meshExp runs every workload pattern over growing sharded meshes and
+// reports simulated injections/sec plus the efficiency of the batched
+// injection path and the shared prepared-jam cache.
+func meshExp(o Options) (*Table, error) {
+	t := &Table{
+		Name:  "mesh",
+		Title: "Sharded many-node mesh: mixed workload (injected + local, sssum + iput)",
+		Cols: []string{"pattern", "nodes", "shards", "msgs", "inj/s",
+			"batched(%)", "cache_hit(%)", "stalls", "sim_ms"},
+	}
+	rounds := meshIters(o)
+	for _, nodes := range []int{8, 16} {
+		for _, p := range workload.Patterns() {
+			sc := workload.DefaultScenario(p, nodes)
+			sc.Rounds = rounds
+			res, err := workload.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("mesh %s/%d: %w", p, nodes, err)
+			}
+			batched := 0.0
+			if res.Mesh.Sent > 0 {
+				batched = float64(res.Mesh.BatchedFrames) / float64(res.Mesh.Sent) * 100
+			}
+			hit := 0.0
+			if tot := res.Mesh.JamBinds + res.Mesh.JamHits; tot > 0 {
+				hit = float64(res.Mesh.JamHits) / float64(tot) * 100
+			}
+			t.AddRow(string(p), fmt.Sprint(nodes), fmt.Sprint(res.Shards),
+				fmt.Sprint(res.Injections), FmtRate(res.RatePerSec),
+				fmt.Sprintf("%.0f", batched), fmt.Sprintf("%.0f", hit),
+				fmt.Sprint(res.Mesh.CreditStalls),
+				fmt.Sprintf("%.3f", res.SimTime.Seconds()*1e3))
+		}
+	}
+	t.Note("hotspot swaps the hot node's server ried mid-run; rates are simulated injections/sec")
+	return t, nil
+}

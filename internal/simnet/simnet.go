@@ -72,17 +72,37 @@ type Fabric struct {
 	nics   []*NIC
 	wires  map[[2]int]*sim.Resource
 	rng    *sim.RNG
+
+	// domains partitions NICs into fabric shards (leaf domains). Traffic
+	// inside one domain rides the dedicated back-to-back wires; traffic
+	// between domains additionally serializes through a shared directional
+	// uplink per domain pair — the oversubscribed spine of a two-tier
+	// topology. NICs not assigned to a domain are in domain 0, so a fabric
+	// that never calls AssignDomain behaves exactly as before.
+	domains map[int]int
+	uplinks map[[2]int]*sim.Resource
 }
 
 // NewFabric creates an empty fabric on the given event engine.
 func NewFabric(engine *sim.Engine, cfg Config) *Fabric {
 	return &Fabric{
-		Engine: engine,
-		cfg:    cfg,
-		wires:  map[[2]int]*sim.Resource{},
-		rng:    sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
+		Engine:  engine,
+		cfg:     cfg,
+		wires:   map[[2]int]*sim.Resource{},
+		rng:     sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
+		domains: map[int]int{},
+		uplinks: map[[2]int]*sim.Resource{},
 	}
 }
+
+// AssignDomain places a NIC into a fabric shard. Domain numbers are
+// arbitrary labels; equal labels share leaf-local wiring.
+func (f *Fabric) AssignDomain(n *NIC, domain int) {
+	f.domains[n.ID] = domain
+}
+
+// DomainOf reports a NIC's fabric shard (0 when never assigned).
+func (f *Fabric) DomainOf(n *NIC) int { return f.domains[n.ID] }
 
 // wire returns the directional wire resource between two NIC ids.
 func (f *Fabric) wire(src, dst int) *sim.Resource {
@@ -93,6 +113,18 @@ func (f *Fabric) wire(src, dst int) *sim.Resource {
 		f.wires[k] = w
 	}
 	return w
+}
+
+// uplink returns the shared directional spine resource between two fabric
+// shards. All NIC pairs crossing the same domain pair contend on it.
+func (f *Fabric) uplink(srcDom, dstDom int) *sim.Resource {
+	k := [2]int{srcDom, dstDom}
+	u, ok := f.uplinks[k]
+	if !ok {
+		u = sim.NewResource(fmt.Sprintf("uplink %d->%d", srcDom, dstDom))
+		f.uplinks[k] = u
+	}
+	return u
 }
 
 // Stats aggregates per-NIC traffic counters.
@@ -119,11 +151,19 @@ type NIC struct {
 	// barrier is the fence point per destination: puts issued after a
 	// Fence are not delivered before it (used when Ordered is false).
 	barrier map[int]sim.Time
-	// onDeliver observes every delivered put (the reactive mailbox hooks
-	// this to implement signal watching; the sender hooks it for credit
-	// returns). Hooks run in registration order.
-	onDeliver []func(va uint64, size int)
+	// onDeliver observes delivered puts (the reactive mailbox hooks this
+	// to implement signal watching; the sender hooks it for credit
+	// returns). Hooks run in registration order; ranged hooks fire only
+	// for puts intersecting their window, so a node with many mailbox
+	// regions pays one callback per delivery, not one per region.
+	onDeliver []deliveryHook
 	stats     Stats
+}
+
+// deliveryHook is one inbound-put observer; end == 0 matches every put.
+type deliveryHook struct {
+	base, end uint64
+	fn        func(va uint64, size int)
 }
 
 // AttachNIC adds a host to the fabric. hier may be nil (no cache model).
@@ -153,7 +193,14 @@ func (n *NIC) AddressSpace() *mem.AddressSpace { return n.as }
 // SetDeliveryHook registers an observer for inbound puts. Multiple hooks
 // may be registered; all run on every delivery.
 func (n *NIC) SetDeliveryHook(fn func(va uint64, size int)) {
-	n.onDeliver = append(n.onDeliver, fn)
+	n.onDeliver = append(n.onDeliver, deliveryHook{fn: fn})
+}
+
+// AddDeliveryHookRange registers an observer invoked only for puts that
+// intersect [base, base+size) — the scalable form for per-region watchers
+// like mailbox receivers and credit-flag arrays.
+func (n *NIC) AddDeliveryHookRange(base uint64, size int, fn func(va uint64, size int)) {
+	n.onDeliver = append(n.onDeliver, deliveryHook{base: base, end: base + uint64(size), fn: fn})
 }
 
 // RegisterMemory pins [base, base+size) for remote access and returns its
@@ -237,6 +284,12 @@ func (n *NIC) Put(dst *NIC, srcVA, dstVA uint64, size int, key RKey, onComplete 
 	// NIC processing, then wire serialization.
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
 	wireDone := n.fabric.wire(n.ID, dst.ID).Claim(txDone, model.WireTime(size))
+	if sd, dd := n.fabric.DomainOf(n), n.fabric.DomainOf(dst); sd != dd {
+		// Cross-shard hop: serialize through the shared spine uplink and
+		// pay the extra switch traversal.
+		wireDone = n.fabric.uplink(sd, dd).Claim(wireDone, model.WireTime(size))
+		wireDone = wireDone.Add(model.UplinkHopLat)
+	}
 	arrival := wireDone.Add(model.PutBaseLat - model.NicPerMsg) // base latency includes endpoint costs
 
 	if !n.fabric.cfg.Ordered {
@@ -270,7 +323,9 @@ func (n *NIC) Put(dst *NIC, srcVA, dstVA uint64, size int, key RKey, onComplete 
 		}
 		dst.stats.PutsDelivered++
 		for _, hook := range dst.onDeliver {
-			hook(dstVA, size)
+			if hook.end == 0 || (dstVA < hook.end && dstVA+uint64(size) > hook.base) {
+				hook.fn(dstVA, size)
+			}
 		}
 		if onComplete != nil {
 			onComplete(PutResult{Delivered: eng.Now()})
@@ -285,9 +340,18 @@ func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComp
 	n.stats.GetsSent++
 
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
-	// Request travels, response serializes the payload back.
+	// Request travels, response serializes the payload back. Both legs of
+	// a cross-shard read traverse the spine: the header-sized request pays
+	// the hop, the payload additionally contends on the response uplink.
 	reqArrive := txDone.Add(model.PutBaseLat / 2)
+	if n.fabric.DomainOf(n) != n.fabric.DomainOf(dst) {
+		reqArrive = reqArrive.Add(model.UplinkHopLat)
+	}
 	wireDone := n.fabric.wire(dst.ID, n.ID).Claim(reqArrive, model.WireTime(size))
+	if sd, dd := n.fabric.DomainOf(dst), n.fabric.DomainOf(n); sd != dd {
+		wireDone = n.fabric.uplink(sd, dd).Claim(wireDone, model.WireTime(size))
+		wireDone = wireDone.Add(model.UplinkHopLat)
+	}
 	arrival := wireDone.Add(model.PutBaseLat / 2)
 
 	if err := dst.checkAccess(key, remoteVA, size, RemoteRead); err != nil {

@@ -309,3 +309,71 @@ func TestDeregisterInvalidatesKey(t *testing.T) {
 		t.Fatal("put with deregistered key accepted")
 	}
 }
+
+// TestCrossDomainUplink: a put between fabric shards pays the spine hop
+// and serializes through the shared uplink; same-shard traffic does not.
+func TestCrossDomainUplink(t *testing.T) {
+	lat := func(assign func(f *Fabric, a, b *NIC)) sim.Time {
+		eng, a, b := twoHosts(t, DefaultConfig(), RemoteWrite)
+		assign(a.nic.fabric, a.nic, b.nic)
+		var done sim.Time
+		a.nic.Put(b.nic, a.buf, b.buf, 256, b.key, func(r PutResult) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			done = r.Delivered
+		})
+		eng.Run()
+		return done
+	}
+	intra := lat(func(f *Fabric, a, b *NIC) {})
+	cross := lat(func(f *Fabric, a, b *NIC) {
+		f.AssignDomain(a, 0)
+		f.AssignDomain(b, 1)
+	})
+	if cross <= intra {
+		t.Fatalf("cross-domain %v not slower than intra-domain %v", cross, intra)
+	}
+	if delta := cross.Sub(intra); delta < model.UplinkHopLat {
+		t.Fatalf("cross-domain delta %v below hop latency %v", delta, model.UplinkHopLat)
+	}
+
+	// Two cross-domain puts from different senders contend on the shared
+	// uplink: the second delivery is pushed out by the first's
+	// serialization.
+	eng := sim.NewEngine()
+	f := NewFabric(eng, DefaultConfig())
+	var hosts []*host
+	for i := 0; i < 3; i++ {
+		h := &host{as: mem.NewAddressSpace(1 << 20)}
+		h.nic = f.AttachNIC(h.as, nil)
+		var err error
+		h.buf, err = h.as.AllocPages("buf", 64*1024, mem.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.key, err = h.nic.RegisterMemory(h.buf, 64*1024, RemoteWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+	f.AssignDomain(hosts[0].nic, 0)
+	f.AssignDomain(hosts[1].nic, 0)
+	f.AssignDomain(hosts[2].nic, 1)
+	const size = 32768
+	var t1, t2 sim.Time
+	hosts[0].nic.Put(hosts[2].nic, hosts[0].buf, hosts[2].buf, size, hosts[2].key,
+		func(r PutResult) { t1 = r.Delivered })
+	hosts[1].nic.Put(hosts[2].nic, hosts[1].buf, hosts[2].buf, size, hosts[2].key,
+		func(r PutResult) { t2 = r.Delivered })
+	eng.Run()
+	later := t2
+	if t1 > t2 {
+		later = t1
+	}
+	if later.Sub(sim.Time(0)) < sim.Duration(2)*model.WireTime(size) {
+		t.Fatalf("contended uplink delivery %v shows no serialization (wire %v)",
+			later, model.WireTime(size))
+	}
+}

@@ -1,0 +1,437 @@
+// Package workload is the mesh scenario driver: it provisions a sharded
+// many-node core.Mesh, generates a deterministic traffic plan for one of
+// several patterns, drives batched frame injection through it, and reports
+// simulated injections/sec plus a run digest.
+//
+// Patterns:
+//
+//   - Fanout: node 0 broadcasts bursts to every other node, round-robin.
+//   - AllToAll: every node bursts to every other node — the densest
+//     channel mesh and the heaviest spine-uplink load.
+//   - Hotspot: skewed traffic where most bursts target one hot node, with
+//     a ried hot-swap performed on the hot node while traffic is in
+//     flight (the paper's remote-linking dynamic-update path, exercised
+//     under load).
+//
+// Each sender self-clocks: burst k+1 is issued from the completion of
+// burst k, so the fabric runs loaded but bounded. All randomness (element
+// choice, Indirect Put keys, hotspot target and skew) flows from a single
+// sim RNG seeded by Scenario.Seed; two runs with equal scenarios produce
+// bit-identical digests and simulated times.
+package workload
+
+import (
+	"fmt"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+// Pattern names a traffic shape.
+type Pattern string
+
+// The three built-in traffic patterns.
+const (
+	Fanout   Pattern = "fanout"
+	AllToAll Pattern = "alltoall"
+	Hotspot  Pattern = "hotspot"
+)
+
+// Patterns lists every built-in pattern in canonical order.
+func Patterns() []Pattern { return []Pattern{Fanout, AllToAll, Hotspot} }
+
+// ElementMix is one entry of a scenario's traffic mix: a tcbench element
+// with a selection weight, sent either as an Injected Function (code
+// travels) or a Local Function (IDs travel).
+type ElementMix struct {
+	Elem   string
+	Weight int
+	Local  bool
+}
+
+// Scenario parameterizes one workload run.
+type Scenario struct {
+	Pattern Pattern
+	// Nodes is the mesh size; Shards the fabric-shard count (0 = default).
+	Nodes, Shards int
+	// Burst is the messages per batched injection; Rounds the bursts each
+	// sender issues per destination slot of the pattern.
+	Burst, Rounds int
+	PayloadBytes  int
+	// Mix is the element mix; empty selects the default mixed workload.
+	Mix  []ElementMix
+	Seed uint64
+	// Timing enables the cache/CPU cost model (required for meaningful
+	// rates; functional tests turn it off for speed).
+	Timing bool
+	// HotSkew is the probability a hotspot burst targets the hot node
+	// (0 = default 0.8). Ignored by other patterns.
+	HotSkew float64
+	// DisableSwap turns off the hotspot mid-run ried hot-swap.
+	DisableSwap bool
+
+	// OnExecuted observes every handler execution (node index, return
+	// value, error) — the hook equivalence tests use to compare injected
+	// execution against a native oracle.
+	OnExecuted func(node int, ret uint64, err error)
+}
+
+// DefaultScenario returns a ready-to-run scenario of the given pattern.
+func DefaultScenario(p Pattern, nodes int) Scenario {
+	return Scenario{
+		Pattern:      p,
+		Nodes:        nodes,
+		Burst:        8,
+		Rounds:       3,
+		PayloadBytes: 64,
+		Seed:         0x7c2c2021,
+		Timing:       true,
+	}
+}
+
+// DefaultMix is the standard mixed workload: mostly injected code, some
+// Local Function traffic.
+func DefaultMix() []ElementMix {
+	return []ElementMix{
+		{Elem: "jam_sssum", Weight: 3},
+		{Elem: "jam_iput", Weight: 2},
+		{Elem: "jam_sssum", Weight: 1, Local: true},
+	}
+}
+
+// NodeResult is one node's view of the run.
+type NodeResult struct {
+	// Sent is the number of messages the plan addressed to this node;
+	// Executed the handlers that ran; Errors the handler failures.
+	Sent     int
+	Executed int
+	Errors   int
+	// Digest folds this node's return values in execution order.
+	Digest uint64
+}
+
+// Result reports one scenario run.
+type Result struct {
+	Scenario   Scenario
+	Shards     int          // fabric shards actually used
+	Injections int          // handlers executed fabric-wide
+	SimTime    sim.Duration // simulated wall time of the whole run
+	RatePerSec float64      // simulated injections per simulated second
+	Digest     uint64       // order-insensitive fold of per-node digests
+	PerNode    []NodeResult
+	Mesh       core.MeshStats
+	Swapped    bool // hotspot: the mid-run ried hot-swap fired
+	HotNode    int  // hotspot: the skew target (-1 otherwise)
+}
+
+// burst is one planned batched send.
+type burst struct {
+	dst   int
+	mix   ElementMix
+	args  [][2]uint64
+	local bool
+}
+
+// plan is the deterministic, pre-generated traffic schedule: one burst
+// queue per sender.
+type plan struct {
+	bursts  [][]burst // indexed by sender
+	sent    []int     // messages addressed per destination
+	total   int
+	hotNode int
+}
+
+// buildPlan consumes the RNG in a fixed order (senders ascending, rounds
+// ascending) so the schedule is a pure function of the scenario. mix and
+// wsum are the validated element mix and its total weight from Run.
+func buildPlan(sc Scenario, mix []ElementMix, wsum int, rng *sim.RNG) plan {
+	p := plan{
+		bursts:  make([][]burst, sc.Nodes),
+		sent:    make([]int, sc.Nodes),
+		hotNode: -1,
+	}
+	pickMix := func() ElementMix {
+		w := rng.Intn(wsum)
+		for _, m := range mix {
+			w -= m.Weight
+			if w < 0 {
+				return m
+			}
+		}
+		return mix[len(mix)-1]
+	}
+	mkArgs := func() [][2]uint64 {
+		args := make([][2]uint64, sc.Burst)
+		for i := range args {
+			args[i] = [2]uint64{rng.Uint64()%30000 + 1, 0}
+		}
+		return args
+	}
+	add := func(src, dst int) {
+		m := pickMix()
+		p.bursts[src] = append(p.bursts[src], burst{dst: dst, mix: m, args: mkArgs(), local: m.Local})
+		p.sent[dst] += sc.Burst
+		p.total += sc.Burst
+	}
+
+	switch sc.Pattern {
+	case Fanout:
+		for r := 0; r < sc.Rounds; r++ {
+			for dst := 1; dst < sc.Nodes; dst++ {
+				add(0, dst)
+			}
+		}
+	case AllToAll:
+		for src := 0; src < sc.Nodes; src++ {
+			for r := 0; r < sc.Rounds; r++ {
+				for dst := 0; dst < sc.Nodes; dst++ {
+					if dst != src {
+						add(src, dst)
+					}
+				}
+			}
+		}
+	case Hotspot:
+		skew := sc.HotSkew
+		if skew <= 0 {
+			skew = 0.8
+		}
+		p.hotNode = rng.Intn(sc.Nodes)
+		for src := 0; src < sc.Nodes; src++ {
+			if src == p.hotNode {
+				continue
+			}
+			for r := 0; r < sc.Rounds*(sc.Nodes-1); r++ {
+				dst := p.hotNode
+				// Background traffic needs a node that is neither the
+				// sender nor the hot node; with 2 nodes none exists and
+				// every burst goes hot.
+				if sc.Nodes > 2 && !rng.Bernoulli(skew) {
+					for {
+						dst = rng.Intn(sc.Nodes)
+						if dst != src && dst != p.hotNode {
+							break
+						}
+					}
+				}
+				add(src, dst)
+			}
+		}
+	}
+	return p
+}
+
+// frameSizeFor sizes the shared mailbox geometry to the largest message of
+// the mix.
+func frameSizeFor(pkg *core.Package, mix []ElementMix, payload int) (int, error) {
+	max := 0
+	for _, m := range mix {
+		var msg *mailbox.Message
+		if m.Local {
+			msg = mailbox.PackLocal(1, 1, [2]uint64{}, make([]byte, payload))
+		} else {
+			elem, ok := pkg.Element(m.Elem)
+			if !ok || elem.Kind != core.ElemJam {
+				return 0, fmt.Errorf("workload: no jam %q in bench package", m.Elem)
+			}
+			msg = &mailbox.Message{
+				Kind:     mailbox.KindInjected,
+				JamImage: make([]byte, elem.Jam.ShippedSize()),
+				Usr:      make([]byte, payload),
+			}
+		}
+		if n := msg.WireLen(); n > max {
+			max = n
+		}
+	}
+	return max, nil
+}
+
+// Run executes the scenario and reports the result. The run is fully
+// deterministic: equal scenarios produce equal results.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Nodes < 2 {
+		return nil, fmt.Errorf("workload: scenario needs >= 2 nodes")
+	}
+	if sc.Burst < 1 || sc.Rounds < 1 {
+		return nil, fmt.Errorf("workload: burst and rounds must be >= 1")
+	}
+	if sc.Pattern != Fanout && sc.Pattern != AllToAll && sc.Pattern != Hotspot {
+		return nil, fmt.Errorf("workload: unknown pattern %q", sc.Pattern)
+	}
+	mix := sc.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	wsum := 0
+	for _, m := range mix {
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("workload: element %q has negative weight %d", m.Elem, m.Weight)
+		}
+		wsum += m.Weight
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("workload: element mix has no positive weight")
+	}
+
+	pkg, err := core.BuildBenchPackage()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := frameSizeFor(pkg, mix, sc.PayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	mcfg := core.DefaultMeshConfig(sc.Nodes)
+	if sc.Shards > 0 {
+		mcfg.Shards = sc.Shards
+	}
+	mcfg.Cluster.Seed = sc.Seed
+	mcfg.Node.Seed = sc.Seed
+	mcfg.Node.Timing = sc.Timing
+	mcfg.Geometry.FrameSize = frame
+	mesh, err := core.NewMesh(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := mesh.InstallPackage(pkg); err != nil {
+		return nil, err
+	}
+
+	p := buildPlan(sc, mix, wsum, mesh.RNG())
+	res := &Result{
+		Scenario: sc,
+		Shards:   mesh.Cfg.Shards, // post-clamp value the mesh actually used
+		PerNode:  make([]NodeResult, sc.Nodes),
+		HotNode:  p.hotNode,
+	}
+	for i := range res.PerNode {
+		res.PerNode[i].Sent = p.sent[i]
+	}
+
+	// Hot-swap trigger: once the hot node has executed half its planned
+	// traffic, install a fresh copy of the server ried (rebinding
+	// tc_results/tc_table/tc_heap to new state) and re-run the namespace
+	// exchange on every channel into it — the remote-linking dynamic
+	// update, performed while bursts are still in flight.
+	swapAt := -1
+	var swapImg = func() error { return nil }
+	if sc.Pattern == Hotspot && !sc.DisableSwap && p.hotNode >= 0 {
+		swapAt = p.sent[p.hotNode] / 2
+		swapImg = func() error {
+			spkg, err := core.BuildPackage("kvbench-swap", map[string]string{
+				"ried_kvbench.rds": core.RiedKVBenchSrc,
+			})
+			if err != nil {
+				return err
+			}
+			for _, e := range spkg.Elements {
+				if e.Kind != core.ElemRied {
+					continue
+				}
+				if _, err := mesh.Node(p.hotNode).InstallRied(e.Ried, true); err != nil {
+					return err
+				}
+			}
+			mesh.RefreshNames(p.hotNode)
+			return nil
+		}
+	}
+
+	var swapErr error
+	payload := make([]byte, sc.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	for i := 0; i < sc.Nodes; i++ {
+		node := i
+		mesh.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+			nr := &res.PerNode[node]
+			if err != nil {
+				nr.Errors++
+			} else {
+				nr.Executed++
+				nr.Digest = nr.Digest*1099511628211 + ret + 1
+			}
+			if sc.OnExecuted != nil {
+				sc.OnExecuted(node, ret, err)
+			}
+			if node == p.hotNode && !res.Swapped && swapAt >= 0 && nr.Executed >= swapAt {
+				res.Swapped = true
+				if err := swapImg(); err != nil && swapErr == nil {
+					swapErr = err
+				}
+			}
+		}
+	}
+
+	// Self-clocked issue: each sender fires its next burst when the last
+	// message of the previous one completes delivery.
+	var issueErr error
+	for src := 0; src < sc.Nodes; src++ {
+		queue := p.bursts[src]
+		if len(queue) == 0 {
+			continue
+		}
+		s := src
+		next := 0
+		var fire func()
+		fire = func() {
+			if next >= len(queue) || issueErr != nil {
+				return
+			}
+			b := queue[next]
+			next++
+			ch, err := mesh.Channel(s, b.dst)
+			if err != nil {
+				issueErr = err
+				return
+			}
+			pending := len(b.args)
+			done := func(r core.Result) {
+				pending--
+				if pending == 0 {
+					fire()
+				}
+			}
+			if b.local {
+				err = ch.CallLocalBurst("tcbench", b.mix.Elem, b.args, payload, done)
+			} else {
+				err = ch.InjectBurst("tcbench", b.mix.Elem, b.args, payload, done)
+			}
+			if err != nil {
+				issueErr = err
+			}
+		}
+		mesh.Cluster.Eng.After(0, fire)
+	}
+	mesh.Run()
+	if issueErr != nil {
+		return nil, issueErr
+	}
+	if swapErr != nil {
+		return nil, swapErr
+	}
+
+	for _, nr := range res.PerNode {
+		res.Injections += nr.Executed
+		res.Digest += nr.Digest // order-insensitive across nodes
+	}
+	res.SimTime = sim.Duration(mesh.Cluster.Eng.Now())
+	if secs := res.SimTime.Seconds(); secs > 0 {
+		res.RatePerSec = float64(res.Injections) / secs
+	}
+	res.Mesh = mesh.Stats()
+
+	var errSum int
+	for _, nr := range res.PerNode {
+		errSum += nr.Errors
+	}
+	if res.Injections+errSum != p.total {
+		return res, fmt.Errorf("workload: %s executed %d+%d of %d planned messages",
+			sc.Pattern, res.Injections, errSum, p.total)
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+)
+
+// expectedSum mirrors jam_sssum's summation: u64 words then byte tail.
+func expectedSum(payload []byte) uint64 {
+	var sum uint64
+	i := 0
+	for ; i+8 <= len(payload); i += 8 {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(payload[i+j]) << (8 * j)
+		}
+		sum += w
+	}
+	for ; i < len(payload); i++ {
+		sum += uint64(payload[i])
+	}
+	return sum
+}
+
+// scenarioPayload reproduces the driver's deterministic payload fill.
+func scenarioPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	return p
+}
+
+func quickScenario(p Pattern, nodes int) Scenario {
+	sc := DefaultScenario(p, nodes)
+	sc.Timing = false
+	sc.Burst = 4
+	sc.Rounds = 2
+	return sc
+}
+
+// TestPatternsComplete: every pattern delivers and executes its entire
+// plan on every node, with batching and jam-cache sharing engaged.
+func TestPatternsComplete(t *testing.T) {
+	for _, p := range Patterns() {
+		res, err := Run(quickScenario(p, 5))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		for i, nr := range res.PerNode {
+			if nr.Errors != 0 {
+				t.Errorf("%s node %d: %d errors", p, i, nr.Errors)
+			}
+			if nr.Executed != nr.Sent {
+				t.Errorf("%s node %d: executed %d of %d sent", p, i, nr.Executed, nr.Sent)
+			}
+		}
+		if res.Mesh.Batches == 0 {
+			t.Errorf("%s: no batched puts", p)
+		}
+		if res.Mesh.JamHits == 0 {
+			t.Errorf("%s: jam cache never hit", p)
+		}
+		if res.RatePerSec <= 0 {
+			t.Errorf("%s: rate %v", p, res.RatePerSec)
+		}
+	}
+}
+
+// TestDeterministicScenarios: identical seeds give bit-identical results
+// (digest, injections, simulated time) on every pattern; a different seed
+// produces a different run.
+func TestDeterministicScenarios(t *testing.T) {
+	for _, p := range Patterns() {
+		sc := quickScenario(p, 4)
+		sc.Timing = true // timing noise must be seeded too
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if a.Digest != b.Digest || a.Injections != b.Injections || a.SimTime != b.SimTime {
+			t.Errorf("%s: same-seed runs diverged: digest %x/%x injections %d/%d time %v/%v",
+				p, a.Digest, b.Digest, a.Injections, b.Injections, a.SimTime, b.SimTime)
+		}
+		sc.Seed ^= 0xdead
+		c, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if a.Digest == c.Digest && a.SimTime == c.SimTime {
+			t.Errorf("%s: different seeds produced identical runs", p)
+		}
+	}
+}
+
+// TestFanoutOracle: with a pure Server-Side Sum mix, every executed
+// handler on every node must return the native sum of the payload.
+func TestFanoutOracle(t *testing.T) {
+	sc := quickScenario(Fanout, 6)
+	sc.Mix = []ElementMix{{Elem: "jam_sssum", Weight: 1}}
+	want := expectedSum(scenarioPayload(sc.PayloadBytes))
+	bad := 0
+	sc.OnExecuted = func(node int, ret uint64, err error) {
+		if err != nil || ret != want {
+			bad++
+		}
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d executions diverged from native oracle", bad)
+	}
+	if res.PerNode[0].Executed != 0 {
+		t.Fatalf("fanout root executed %d messages", res.PerNode[0].Executed)
+	}
+}
+
+// TestHotspotSwapFires: the hotspot pattern performs its ried hot-swap
+// mid-run and still completes the full plan, deterministically.
+func TestHotspotSwapFires(t *testing.T) {
+	sc := quickScenario(Hotspot, 5)
+	sc.Rounds = 3
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Swapped {
+		t.Fatal("hot-swap never fired")
+	}
+	if a.HotNode < 0 || a.HotNode >= sc.Nodes {
+		t.Fatalf("hot node %d", a.HotNode)
+	}
+	hot := a.PerNode[a.HotNode]
+	var maxOther int
+	for i, nr := range a.PerNode {
+		if i != a.HotNode && nr.Sent > maxOther {
+			maxOther = nr.Sent
+		}
+	}
+	if hot.Sent <= maxOther {
+		t.Fatalf("hot node %d saw %d msgs, non-hot max %d — no skew", a.HotNode, hot.Sent, maxOther)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("hot-swap runs diverged: %x vs %x", a.Digest, b.Digest)
+	}
+}
+
+// TestHotspotTwoNodes: the smallest legal mesh has no background
+// candidates (every burst must go hot), and the plan generator must not
+// spin looking for one.
+func TestHotspotTwoNodes(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		sc := quickScenario(Hotspot, 2)
+		sc.Seed = seed
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		other := 1 - res.HotNode
+		if res.PerNode[other].Executed != 0 {
+			t.Fatalf("seed %d: non-hot node executed %d", seed, res.PerNode[other].Executed)
+		}
+		if res.PerNode[res.HotNode].Executed != res.PerNode[res.HotNode].Sent {
+			t.Fatalf("seed %d: hot node executed %d of %d", seed,
+				res.PerNode[res.HotNode].Executed, res.PerNode[res.HotNode].Sent)
+		}
+	}
+}
+
+// TestScenarioValidation rejects degenerate scenarios.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{Pattern: Fanout, Nodes: 1, Burst: 1, Rounds: 1}); err == nil {
+		t.Error("1-node scenario accepted")
+	}
+	if _, err := Run(Scenario{Pattern: "zigzag", Nodes: 4, Burst: 1, Rounds: 1}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := Run(Scenario{Pattern: Fanout, Nodes: 4, Burst: 0, Rounds: 1}); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
