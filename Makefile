@@ -1,11 +1,19 @@
 # Two-Chains build/test entry points. `make check` is the tier-1 gate CI
-# runs: vet, build, race tests, and a mesh benchmark smoke pass.
+# runs: formatting, vet, build, race tests, and benchmark smoke passes
+# (mesh workloads plus the handle-vs-string invocation pair).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test bench-smoke perf
+.PHONY: check fmt-check vet build test bench-smoke perf
 
-check: vet build test bench-smoke
+check: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +26,7 @@ test:
 
 bench-smoke:
 	$(GO) test -run xxx -bench BenchmarkMesh -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchtime 100x .
 
 perf:
 	$(GO) run ./cmd/tcperf -e mesh

@@ -19,6 +19,7 @@ import (
 	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/perf"
+	"twochains/internal/tc"
 	"twochains/internal/workload"
 )
 
@@ -293,6 +294,58 @@ func BenchmarkInstrDecode(b *testing.B) {
 		}
 	}
 }
+
+// benchInvokePath measures the host-side cost of issuing and fully
+// simulating one inject through either the deprecated string-resolving
+// Channel.Inject or the pre-resolved tc.Func handle. The pair exists to
+// pin the API redesign's performance claim: the handle path must not be
+// slower than per-call string resolution.
+func benchInvokePath(b *testing.B, handle bool) {
+	b.Helper()
+	sys, err := tc.NewSystem(2,
+		tc.WithTiming(false),
+		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 8, FrameSize: 2048}),
+		tc.WithCredits(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := core.BuildBenchPackage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.InstallPackage(pkg); err != nil {
+		b.Fatal(err)
+	}
+	fn, err := sys.Func(0, "tcbench", "jam_iput")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := sys.Channel(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		args := [2]uint64{uint64(i%30000) + 1, 0}
+		if handle {
+			if res, ok := fn.Call(1, args, tc.Payload(payload)).Result(); ok && res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		} else {
+			if err := ch.Inject("tcbench", "jam_iput", args, payload, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run()
+	}
+}
+
+// BenchmarkStringInject: per-call string resolution (deprecated path).
+func BenchmarkStringInject(b *testing.B) { benchInvokePath(b, false) }
+
+// BenchmarkFuncCall: bind-once/call-many handle path.
+func BenchmarkFuncCall(b *testing.B) { benchInvokePath(b, true) }
 
 // BenchmarkEndToEndInject measures host-side cost of one full simulated
 // inject-execute round trip.

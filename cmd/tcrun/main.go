@@ -1,6 +1,6 @@
-// Command tcrun loads a built package onto a single-node simulated machine
-// and invokes one of its jams directly — the fastest way to smoke-test a
-// package from the shell before deploying it to a cluster.
+// Command tcrun loads a built package onto a simulated two-node system
+// and invokes one of its jams — the fastest way to smoke-test a package
+// from the shell before deploying it to a cluster.
 //
 // Usage:
 //
@@ -10,7 +10,9 @@
 // With -injected the jam takes the full injection path: packed into a
 // frame, GOT table bound by the sender, delivered through the simulated
 // fabric into a reactive mailbox, and executed from the arrived bytes.
-// Without it, the Local Function library copy is invoked by ID.
+// Without it, the Local Function library copy is invoked by ID. The send
+// goes through a pre-resolved tc.Func handle whose future is awaited on
+// the simulation engine.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tc"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 		arg1     = flag.Uint64("arg1", 0, "second argument word")
 		payload  = flag.Int("payload", 64, "payload size in bytes (patterned)")
 		injected = flag.Bool("injected", true, "use Injected Function (false: Local Function)")
+		backend  = flag.String("backend", "", "fabric backend (default simnet)")
 	)
 	flag.Parse()
 	if *pkgFile == "" || *jam == "" {
@@ -49,20 +53,6 @@ func main() {
 		fatal(fmt.Errorf("no element %q in package %s", *jam, pkg.Name))
 	}
 
-	cl := core.NewCluster(core.DefaultClusterConfig())
-	client, err := cl.AddNode("client", core.DefaultNodeConfig())
-	if err != nil {
-		fatal(err)
-	}
-	server, err := cl.AddNode("server", core.DefaultNodeConfig())
-	if err != nil {
-		fatal(err)
-	}
-	for _, n := range []*core.Node{client, server} {
-		if _, err := n.InstallPackage(pkg); err != nil {
-			fatal(err)
-		}
-	}
 	usr := make([]byte, *payload)
 	for i := range usr {
 		usr[i] = byte(i)
@@ -78,15 +68,19 @@ func main() {
 			}
 		}
 	}
-	geom := mailbox.Geometry{Banks: 1, Slots: 2, FrameSize: frame}
-	if err := server.EnableMailbox(mailbox.DefaultReceiverConfig(geom)); err != nil {
-		fatal(err)
-	}
-	ch, err := core.Connect(client, server, core.ChannelOptions{})
+
+	sys, err := tc.NewSystem(2,
+		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 2, FrameSize: frame}),
+		tc.WithCredits(false),
+		tc.WithBackend(*backend),
+	)
 	if err != nil {
 		fatal(err)
 	}
-
+	if err := sys.InstallPackage(pkg); err != nil {
+		fatal(err)
+	}
+	server := sys.Node(1)
 	server.OnExecuted = func(ret uint64, cost sim.Duration, err error) {
 		if err != nil {
 			fmt.Printf("execution FAULTED: %v\n", err)
@@ -94,23 +88,28 @@ func main() {
 		}
 		fmt.Printf("ret = %d (0x%x), simulated execution cost %v\n", ret, ret, cost)
 	}
-	args := [2]uint64{*arg0, *arg1}
-	if *injected {
-		err = ch.Inject(pkg.Name, *jam, args, usr, nil)
-	} else {
-		err = ch.CallLocal(pkg.Name, *jam, args, usr, nil)
-	}
+
+	// Bind once, call once: the handle pre-resolves the element, the
+	// future awaits delivery deterministically, and Run drains execution.
+	fn, err := sys.Func(0, pkg.Name, *jam)
 	if err != nil {
 		fatal(err)
 	}
-	cl.Run()
+	callOpts := []tc.CallOpt{tc.Payload(usr)}
+	if !*injected {
+		callOpts = append(callOpts, tc.Local())
+	}
+	if _, err := fn.Call(1, [2]uint64{*arg0, *arg1}, callOpts...).Await(); err != nil {
+		fatal(err)
+	}
+	sys.Run()
 
 	mode := "Injected Function"
 	if !*injected {
 		mode = "Local Function"
 	}
 	fmt.Printf("%s: %s(%d, %d) with %dB payload, frame %dB, end-to-end %v\n",
-		mode, *jam, *arg0, *arg1, *payload, frame, sim.Duration(cl.Eng.Now()))
+		mode, *jam, *arg0, *arg1, *payload, frame, sim.Duration(sys.Now()))
 	if out := server.Stdout.String(); out != "" {
 		fmt.Printf("server stdout:\n%s", out)
 	}

@@ -17,6 +17,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tc"
 )
 
 const riedGraph = `
@@ -134,38 +135,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cl := core.NewCluster(core.DefaultClusterConfig())
-	client, err := cl.AddNode("client", core.DefaultNodeConfig())
+	// One client plus two graph shards on a single system; shard i is
+	// node i+1. Channels and mailbox regions arm lazily on first call.
+	const client = 0
+	sys, err := tc.NewSystem(3,
+		tc.WithGeometry(mailbox.Geometry{Banks: 4, Slots: 8, FrameSize: 1024}),
+		tc.WithCredits(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var shards []*core.Node
-	var chans []*core.Channel
-	for i := 0; i < 2; i++ {
-		shard, err := cl.AddNode(fmt.Sprintf("shard%d", i), core.DefaultNodeConfig())
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := shard.InstallPackage(pkg); err != nil {
-			log.Fatal(err)
-		}
-		geom := mailbox.Geometry{Banks: 4, Slots: 8, FrameSize: 1024}
-		rcfg := mailbox.DefaultReceiverConfig(geom)
-		rcfg.Credits = true
-		if err := shard.EnableMailbox(rcfg); err != nil {
-			log.Fatal(err)
-		}
-		shards = append(shards, shard)
-	}
-	if _, err := client.InstallPackage(pkg); err != nil {
+	if err := sys.InstallPackage(pkg); err != nil {
 		log.Fatal(err)
 	}
-	for _, shard := range shards {
-		ch, err := core.Connect(client, shard, core.ChannelOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		chans = append(chans, ch)
+	shardOf := func(u uint64) int { return 1 + int(u%2) }
+
+	// Bind each insertion function once; every edge reuses the handles.
+	addEdge, err := sys.Func(client, "graph", "jam_addedge")
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Phase 1: insert 400 edges of a synthetic power-law-ish graph,
@@ -175,17 +163,21 @@ func main() {
 	for i := 0; i < 400; i++ {
 		u := uint64(rng.Intn(64)) // hubs: few sources, many targets
 		v := uint64(rng.Intn(4096))
-		ch := chans[u%2]
-		if err := ch.Inject("graph", "jam_addedge", [2]uint64{u, v}, nil, nil); err != nil {
-			log.Fatal(err)
+		if res, _ := addEdge.Call(shardOf(u), [2]uint64{u, v}).Result(); res.Err != nil {
+			log.Fatal(res.Err)
 		}
 		edges++
 	}
-	cl.Run()
+	sys.Run()
 	fmt.Printf("phase 1: %d plain edge inserts pushed to 2 shards\n", edges)
 
 	// Phase 2: switch to the weighted insert function mid-run. No server
-	// cooperation needed: the new function body travels in the messages.
+	// cooperation needed: the new function body travels in the messages —
+	// deploying new code is just binding another handle.
+	addEdgeW, err := sys.Func(client, "graph", "jam_addedge_w")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 200; i++ {
 		u := uint64(rng.Intn(64))
 		v := uint64(rng.Intn(4096))
@@ -194,17 +186,17 @@ func main() {
 		for j := 0; j < 8; j++ {
 			weight[j] = byte(w >> (8 * j))
 		}
-		ch := chans[u%2]
-		if err := ch.Inject("graph", "jam_addedge_w", [2]uint64{u, v}, weight[:], nil); err != nil {
-			log.Fatal(err)
+		if res, _ := addEdgeW.Call(shardOf(u), [2]uint64{u, v}, tc.Payload(weight[:])).Result(); res.Err != nil {
+			log.Fatal(res.Err)
 		}
 	}
-	cl.Run()
+	sys.Run()
 	fmt.Println("phase 2: switched to weighted inserts mid-run (no restart, no registration)")
 
-	// Phase 3: query a few hub degrees with a read-only jam.
-	for _, shard := range shards {
-		shard := shard
+	// Phase 3: query a few hub degrees with a read-only jam, awaiting
+	// each future deterministically.
+	for i := 1; i <= 2; i++ {
+		shard := sys.Node(i)
 		shard.OnExecuted = func(ret uint64, _ sim.Duration, err error) {
 			if err != nil {
 				log.Fatal(err)
@@ -212,21 +204,28 @@ func main() {
 			fmt.Printf("  %s answered degree query: %d\n", shard.Name, ret)
 		}
 	}
+	degree, err := sys.Func(client, "graph", "jam_degree")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, u := range []uint64{1, 2, 3} {
-		if err := chans[u%2].Inject("graph", "jam_degree", [2]uint64{u, 0}, nil, nil); err != nil {
+		if _, err := degree.Call(shardOf(u), [2]uint64{u, 0}).Await(); err != nil {
 			log.Fatal(err)
 		}
 	}
-	cl.Run()
+	sys.Run()
 
 	// Shard-side state, read directly for the report.
-	for _, shard := range shards {
+	st := sys.Stats()
+	for i := 1; i <= 2; i++ {
+		shard := sys.Node(i)
 		countVA, _ := shard.SymbolVA("gr_count")
 		weightVA, _ := shard.SymbolVA("gr_weight")
 		count, _ := shard.AS.ReadU64(countVA)
 		weight, _ := shard.AS.ReadU64(weightVA)
-		fmt.Printf("%s: %d edges in log, accumulated weight %d, processed %d messages\n",
-			shard.Name, count, weight, shard.Receiver.Stats().Processed)
+		fmt.Printf("%s: %d edges in log, accumulated weight %d\n",
+			shard.Name, count, weight)
 	}
-	fmt.Printf("simulated time for the whole run: %v\n", sim.Duration(cl.Eng.Now()))
+	fmt.Printf("processed %d messages; simulated time for the whole run: %v\n",
+		st.Processed, sim.Duration(sys.Now()))
 }

@@ -1,7 +1,10 @@
 // Hotswap: remote dynamic linking as a live-update mechanism (paper §III).
-// Loading a new ried version on a running process rebinds a fixed symbolic
-// name, altering the behaviour of every subsequent active message — with
-// no restart and no re-linking of anything already loaded.
+// Loading a new RIED (relocatable interface distribution) version on a
+// running process rebinds a fixed symbolic name, altering the behaviour of
+// every subsequent active message — with no restart and no re-linking of
+// anything already loaded. The client's pre-resolved tc.Func handle
+// survives the swap: it re-binds against the new namespace automatically
+// on its next call.
 //
 // A validation service first enforces a v1 policy (reject payloads over a
 // small limit); operations then pushes a v2 policy ried that also enforces
@@ -16,6 +19,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tc"
 )
 
 const jamValidate = `
@@ -80,30 +84,19 @@ func main() {
 	}
 	riedV2, _ := v2pkg.Element("ried_policy")
 
-	cl := core.NewCluster(core.DefaultClusterConfig())
-	client, err := cl.AddNode("client", core.DefaultNodeConfig())
+	const client, validator = 0, 1
+	sys, err := tc.NewSystem(2,
+		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: 512}),
+		tc.WithCredits(false),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	validator, err := cl.AddNode("validator", core.DefaultNodeConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, n := range []*core.Node{client, validator} {
-		if _, err := n.InstallPackage(pkgV1); err != nil {
-			log.Fatal(err)
-		}
-	}
-	geom := mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: 512}
-	if err := validator.EnableMailbox(mailbox.DefaultReceiverConfig(geom)); err != nil {
-		log.Fatal(err)
-	}
-	ch, err := core.Connect(client, validator, core.ChannelOptions{})
-	if err != nil {
+	if err := sys.InstallPackage(pkgV1); err != nil {
 		log.Fatal(err)
 	}
 
-	validator.OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+	sys.Node(validator).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,11 +106,17 @@ func main() {
 		}
 		fmt.Printf("  validator: %s\n", verdict)
 	}
+	// Bind the validator jam once; every check reuses the handle.
+	validate, err := sys.Func(client, "validate", "jam_validate")
+	if err != nil {
+		log.Fatal(err)
+	}
 	check := func(n int) {
-		if err := ch.Inject("validate", "jam_validate", [2]uint64{}, make([]byte, n), nil); err != nil {
+		if _, err := validate.Call(validator, [2]uint64{},
+			tc.Payload(make([]byte, n))).Await(); err != nil {
 			log.Fatal(err)
 		}
-		cl.Run()
+		sys.Run()
 	}
 
 	fmt.Println("policy v1 (size <= 64):")
@@ -126,12 +125,13 @@ func main() {
 	fmt.Print("  80-byte request -> ")
 	check(80)
 
-	// Live update: drive the v2 ried over and load it with Replace
-	// semantics; the namespace exchange refreshes the client's view.
-	if _, err := validator.InstallRied(riedV2.Ried, true); err != nil {
+	// Live update: drive the v2 RIED over and load it with Replace
+	// semantics; the namespace exchange refreshes every sender's view,
+	// and the bound handle re-binds itself on the next call.
+	if _, err := sys.InstallRied(validator, riedV2.Ried, true); err != nil {
 		log.Fatal(err)
 	}
-	ch.RefreshNames()
+	sys.RefreshNames(validator)
 	fmt.Println("hot-swapped policy ried to v2 (size <= 64 AND even length) — no restart:")
 
 	fmt.Print("  33-byte request -> ")

@@ -16,6 +16,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tc"
 )
 
 // The travelling jam: transform every u64 word of the payload through the
@@ -84,40 +85,22 @@ func buildFor(ried string) *core.Package {
 }
 
 func main() {
-	cl := core.NewCluster(core.DefaultClusterConfig())
-	client, err := cl.AddNode("client", core.DefaultNodeConfig())
+	// Three processes on one system: the client plus a heterogeneous
+	// pool. Per-node installs give each process its own tc_transform.
+	const client, cpuNode, accNode = 0, 1, 2
+	sys, err := tc.NewSystem(3,
+		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: 1024}),
+		tc.WithCredits(false),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The client only needs the jam; install the cpu flavour locally.
-	if _, err := client.InstallPackage(buildFor(riedCPU)); err != nil {
-		log.Fatal(err)
+	for i, ried := range map[int]string{client: riedCPU, cpuNode: riedCPU, accNode: riedAccel} {
+		if _, err := sys.Node(i).InstallPackage(buildFor(ried)); err != nil {
+			log.Fatal(err)
+		}
 	}
-
-	type target struct {
-		node *core.Node
-		ch   *core.Channel
-	}
-	mk := func(name, ried string) target {
-		n, err := cl.AddNode(name, core.DefaultNodeConfig())
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := n.InstallPackage(buildFor(ried)); err != nil {
-			log.Fatal(err)
-		}
-		geom := mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: 1024}
-		if err := n.EnableMailbox(mailbox.DefaultReceiverConfig(geom)); err != nil {
-			log.Fatal(err)
-		}
-		ch, err := core.Connect(client, n, core.ChannelOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return target{n, ch}
-	}
-	cpu := mk("cpu-node", riedCPU)
-	acc := mk("accel-node", riedAccel)
 
 	// One payload, one jam, two processes: two different transforms.
 	payload := make([]byte, 8*4)
@@ -134,15 +117,22 @@ func main() {
 			fmt.Printf("  %s: jam_apply(10,20,30,40) = %d\n", name, ret)
 		}
 	}
-	cpu.node.OnExecuted = report("cpu-node  (3x+1 kernel)")
-	acc.node.OnExecuted = report("accel-node (x^2>>4 kernel)")
+	sys.Node(cpuNode).OnExecuted = report("cpu-node  (3x+1 kernel)")
+	sys.Node(accNode).OnExecuted = report("accel-node (x^2>>4 kernel)")
 
-	for _, t := range []target{cpu, acc} {
-		if err := t.ch.Inject("hetero", "jam_apply", [2]uint64{}, payload, nil); err != nil {
+	// One handle, two destinations: the per-destination state binds
+	// against each receiver's own namespace, so the same injected code
+	// resolves to different kernels.
+	apply, err := sys.Func(client, "hetero", "jam_apply")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dst := range []int{cpuNode, accNode} {
+		if _, err := apply.Call(dst, [2]uint64{}, tc.Payload(payload)).Await(); err != nil {
 			log.Fatal(err)
 		}
 	}
-	cl.Run()
+	sys.Run()
 
 	fmt.Println("same injected code, process-specific behaviour — no SPMD assumption.")
 }

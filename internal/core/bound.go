@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"twochains/internal/mailbox"
+)
+
+// Bound is a channel-scoped pre-resolved function handle: the element is
+// looked up once, its travelling image is bound against the receiver
+// namespace once (via the sender node's shared prepared-jam cache), and
+// the receiver-side IDs for Local Function invocation are resolved once.
+// Every subsequent send through the handle skips string resolution
+// entirely — the bind-once/call-many idiom the paper's design implies.
+//
+// Handles survive receiver-side RIED hot-swaps: when the channel's
+// namespace fingerprint moves (RefreshNames after an InstallRied), the
+// next send re-binds through the jam cache, exactly as a fresh string
+// lookup would.
+//
+// Bound is the engine under both the deprecated string-based Channel
+// methods (which resolve a cached handle per call) and the tc.Func public
+// API (which holds one handle per destination).
+type Bound struct {
+	ch                *Channel
+	pkgName, elemName string
+
+	// Injection state: the prepared image and the namespace fingerprint
+	// it was bound against. Re-prepared when the channel's fingerprint
+	// moves (hot-swap) — the cache makes that a lookup, not a re-bind,
+	// unless the namespace is genuinely new.
+	pj *preparedJam
+	fp uint64
+
+	// Local Function state: the receiver's package and element IDs.
+	localPkg, localElem uint8
+	localOK             bool
+}
+
+// Bind returns this channel's handle for the element, performing the
+// sender-side lookup and the travelling-GOT bind immediately. The handle
+// is cached per channel: binding twice returns the same handle.
+func (ch *Channel) Bind(pkgName, elemName string) (*Bound, error) {
+	b := ch.Handle(pkgName, elemName)
+	if err := b.ensureInject(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Handle returns the cached per-channel handle without forcing a bind:
+// the deprecated string methods use it so their per-call error semantics
+// (lazy, per-path) stay exactly as before.
+func (ch *Channel) Handle(pkgName, elemName string) *Bound {
+	key := pkgName + "/" + elemName
+	if b, ok := ch.bounds[key]; ok {
+		return b
+	}
+	b := &Bound{ch: ch, pkgName: pkgName, elemName: elemName}
+	ch.bounds[key] = b
+	return b
+}
+
+// Channel returns the channel the handle sends on.
+func (b *Bound) Channel() *Channel { return b.ch }
+
+// ensureInject makes the prepared image current for the channel's
+// receiver namespace.
+func (b *Bound) ensureInject() error {
+	if b.pj != nil && b.fp == b.ch.remoteFP {
+		return nil
+	}
+	pj, err := b.ch.prepareJam(b.pkgName, b.elemName)
+	if err != nil {
+		return err
+	}
+	b.pj, b.fp = pj, b.ch.remoteFP
+	return nil
+}
+
+// ensureLocal resolves the receiver-side IDs once.
+func (b *Bound) ensureLocal() error {
+	if b.localOK {
+		return nil
+	}
+	ch := b.ch
+	inst, ok := ch.Dst.Package(b.pkgName)
+	if !ok {
+		return fmt.Errorf("core: %s->%s: package %s not installed on receiver",
+			ch.Src.Name, ch.Dst.Name, b.pkgName)
+	}
+	elem, ok := inst.Pkg.Element(b.elemName)
+	if !ok || elem.Kind != ElemJam {
+		return fmt.Errorf("core: %s->%s: no jam %q in package %s",
+			ch.Src.Name, ch.Dst.Name, b.elemName, b.pkgName)
+	}
+	b.localPkg, b.localElem = inst.ID, elem.ID
+	b.localOK = true
+	return nil
+}
+
+// checkUp fails sends addressed to a torn-down receiver.
+func (b *Bound) checkUp() error {
+	if b.ch.Dst.down {
+		return fmt.Errorf("core: %s->%s: destination node torn down",
+			b.ch.Src.Name, b.ch.Dst.Name)
+	}
+	return nil
+}
+
+// injectedMessage builds the wire message for the current prepared image.
+func (b *Bound) injectedMessage(args [2]uint64, usr []byte) *mailbox.Message {
+	pj := b.pj
+	return &mailbox.Message{
+		Kind:        mailbox.KindInjected,
+		PkgID:       pj.pkgID,
+		ElemID:      pj.elemID,
+		JamImage:    pj.image,
+		GotTableLen: pj.gotLen,
+		TextLen:     pj.textLen,
+		EntryOff:    pj.entry,
+		Patches:     pj.patches,
+		Args:        args,
+		Usr:         usr,
+	}
+}
+
+// Inject sends one Injected Function active message through the handle:
+// the pre-bound code travels in the frame and executes on arrival.
+func (b *Bound) Inject(args [2]uint64, usr []byte, done func(Result)) error {
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureInject(); err != nil {
+		return err
+	}
+	b.ch.Sender.Send(b.injectedMessage(args, usr), wrapDone(done, true))
+	return nil
+}
+
+// InjectBurst sends one Injected Function message per args entry as a
+// single batched operation; the mailbox sender coalesces contiguous frame
+// slots into single puts. usr is the shared payload; done, when non-nil,
+// fires once per message.
+func (b *Bound) InjectBurst(argsBatch [][2]uint64, usr []byte, done func(Result)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureInject(); err != nil {
+		return err
+	}
+	msgs := make([]*mailbox.Message, len(argsBatch))
+	for i, args := range argsBatch {
+		msgs[i] = b.injectedMessage(args, usr)
+	}
+	b.ch.Sender.SendBatch(msgs, wrapDone(done, true))
+	return nil
+}
+
+// CallLocal sends a Local Function active message through the handle:
+// only the pre-resolved IDs and payload travel; the receiver calls its
+// library copy of the function.
+func (b *Bound) CallLocal(args [2]uint64, usr []byte, done func(Result)) error {
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureLocal(); err != nil {
+		return err
+	}
+	msg := mailbox.PackLocal(b.localPkg, b.localElem, args, usr)
+	b.ch.Sender.Send(msg, wrapDone(done, false))
+	return nil
+}
+
+// CallLocalBurst sends one Local Function message per args entry as a
+// batch, coalescing contiguous frames like InjectBurst.
+func (b *Bound) CallLocalBurst(argsBatch [][2]uint64, usr []byte, done func(Result)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureLocal(); err != nil {
+		return err
+	}
+	msgs := make([]*mailbox.Message, len(argsBatch))
+	for i, args := range argsBatch {
+		msgs[i] = mailbox.PackLocal(b.localPkg, b.localElem, args, usr)
+	}
+	b.ch.Sender.SendBatch(msgs, wrapDone(done, false))
+	return nil
+}
+
+// InjectedWireLen reports the frame size an Inject with a payload of
+// usrLen bytes would occupy.
+func (b *Bound) InjectedWireLen(usrLen int) (int, error) {
+	if err := b.ensureInject(); err != nil {
+		return 0, err
+	}
+	m := &mailbox.Message{Kind: mailbox.KindInjected, JamImage: b.pj.image, Usr: make([]byte, usrLen)}
+	return m.WireLen(), nil
+}

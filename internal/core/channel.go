@@ -35,6 +35,9 @@ type Channel struct {
 	remoteNames map[string]uint64
 	remoteFP    uint64
 
+	// bounds caches this channel's pre-resolved handles, one per element
+	// (see Bound); the deprecated string methods resolve through it.
+	bounds    map[string]*Bound
 	injectCnt map[string]int
 }
 
@@ -94,6 +97,7 @@ func connectTo(src, dst *Node, recv *mailbox.Receiver, opts ChannelOptions, name
 		Recv:      recv,
 		Sender:    snd,
 		Opts:      opts,
+		bounds:    map[string]*Bound{},
 		injectCnt: map[string]int{},
 	}
 	if opts.Sender.Credits {
@@ -140,10 +144,13 @@ type Result struct {
 
 // Inject sends the named jam as an Injected Function active message: the
 // function's code travels in the frame and executes on arrival. args are
-// the three header argument words; usr is the data payload.
+// the header argument words; usr is the data payload.
+//
+// Deprecated: resolve a handle once with Bind (or use tc.Func) and call
+// it many times; this wrapper re-resolves the handle cache per call.
 func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
-	key := pkgName + "/" + elemName
 	if ch.Opts.AutoSwitchAfter > 0 {
+		key := pkgName + "/" + elemName
 		ch.injectCnt[key]++
 		if ch.injectCnt[key] > ch.Opts.AutoSwitchAfter {
 			// Reoccurring function: switch to local invocation if the
@@ -153,101 +160,35 @@ func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, 
 			}
 		}
 	}
-	pj, err := ch.prepareJam(pkgName, elemName)
-	if err != nil {
-		return err
-	}
-	msg := &mailbox.Message{
-		Kind:        mailbox.KindInjected,
-		PkgID:       pj.pkgID,
-		ElemID:      pj.elemID,
-		JamImage:    pj.image,
-		GotTableLen: pj.gotLen,
-		TextLen:     pj.textLen,
-		EntryOff:    pj.entry,
-		Patches:     pj.patches,
-		Args:        args,
-		Usr:         usr,
-	}
-	ch.Sender.Send(msg, wrapDone(done, true))
-	return nil
+	return ch.Handle(pkgName, elemName).Inject(args, usr, done)
 }
 
 // InjectBurst sends one Injected Function message per args entry in a
-// single batched operation: the jam is prepared once and the mailbox
-// sender coalesces contiguous frame slots into single puts, amortizing the
-// per-put setup across the burst. usr is the shared payload. Bursts bypass
-// the auto-switch heuristic (they are an explicit bulk-injection choice).
-// done, when non-nil, fires once per message.
+// single batched operation. Bursts bypass the auto-switch heuristic (they
+// are an explicit bulk-injection choice).
+//
+// Deprecated: resolve a handle once with Bind (or use tc.Func with the
+// tc.Burst option) and call it many times.
 func (ch *Channel) InjectBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	if len(argsBatch) == 0 {
-		return nil
-	}
-	pj, err := ch.prepareJam(pkgName, elemName)
-	if err != nil {
-		return err
-	}
-	msgs := make([]*mailbox.Message, len(argsBatch))
-	for i, args := range argsBatch {
-		msgs[i] = &mailbox.Message{
-			Kind:        mailbox.KindInjected,
-			PkgID:       pj.pkgID,
-			ElemID:      pj.elemID,
-			JamImage:    pj.image,
-			GotTableLen: pj.gotLen,
-			TextLen:     pj.textLen,
-			EntryOff:    pj.entry,
-			Patches:     pj.patches,
-			Args:        args,
-			Usr:         usr,
-		}
-	}
-	ch.Sender.SendBatch(msgs, wrapDone(done, true))
-	return nil
+	return ch.Handle(pkgName, elemName).InjectBurst(argsBatch, usr, done)
 }
 
 // CallLocalBurst sends one Local Function message per args entry as a
 // batch, coalescing contiguous frames like InjectBurst.
+//
+// Deprecated: resolve a handle once with Bind (or use tc.Func with the
+// tc.Local and tc.Burst options) and call it many times.
 func (ch *Channel) CallLocalBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	if len(argsBatch) == 0 {
-		return nil
-	}
-	inst, ok := ch.Dst.Package(pkgName)
-	if !ok {
-		return fmt.Errorf("core: %s->%s: package %s not installed on receiver",
-			ch.Src.Name, ch.Dst.Name, pkgName)
-	}
-	elem, ok := inst.Pkg.Element(elemName)
-	if !ok || elem.Kind != ElemJam {
-		return fmt.Errorf("core: %s->%s: no jam %q in package %s",
-			ch.Src.Name, ch.Dst.Name, elemName, pkgName)
-	}
-	msgs := make([]*mailbox.Message, len(argsBatch))
-	for i, args := range argsBatch {
-		msgs[i] = mailbox.PackLocal(inst.ID, elem.ID, args, usr)
-	}
-	ch.Sender.SendBatch(msgs, wrapDone(done, false))
-	return nil
+	return ch.Handle(pkgName, elemName).CallLocalBurst(argsBatch, usr, done)
 }
 
 // CallLocal sends a Local Function active message: only IDs and payload
 // travel; the receiver calls its library copy of the function.
+//
+// Deprecated: resolve a handle once with Bind (or use tc.Func with the
+// tc.Local option) and call it many times.
 func (ch *Channel) CallLocal(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
-	// IDs must be the receiver's: packages install in the same order on
-	// every node in our benchmarks, but resolve defensively.
-	inst, ok := ch.Dst.Package(pkgName)
-	if !ok {
-		return fmt.Errorf("core: %s->%s: package %s not installed on receiver",
-			ch.Src.Name, ch.Dst.Name, pkgName)
-	}
-	elem, ok := inst.Pkg.Element(elemName)
-	if !ok || elem.Kind != ElemJam {
-		return fmt.Errorf("core: %s->%s: no jam %q in package %s",
-			ch.Src.Name, ch.Dst.Name, elemName, pkgName)
-	}
-	msg := mailbox.PackLocal(inst.ID, elem.ID, args, usr)
-	ch.Sender.Send(msg, wrapDone(done, false))
-	return nil
+	return ch.Handle(pkgName, elemName).CallLocal(args, usr, done)
 }
 
 // SendData sends a delivery-only frame (the without-execution mode used by
@@ -260,12 +201,7 @@ func (ch *Channel) SendData(usr []byte, done func(Result)) {
 // payload of usrLen bytes would occupy; benchmarks use it to configure
 // mailbox geometry.
 func (ch *Channel) InjectedWireLen(pkgName, elemName string, usrLen int) (int, error) {
-	pj, err := ch.prepareJam(pkgName, elemName)
-	if err != nil {
-		return 0, err
-	}
-	m := &mailbox.Message{Kind: mailbox.KindInjected, JamImage: pj.image, Usr: make([]byte, usrLen)}
-	return m.WireLen(), nil
+	return ch.Handle(pkgName, elemName).InjectedWireLen(usrLen)
 }
 
 func wrapDone(done func(Result), injected bool) func(mailbox.SendInfo) {

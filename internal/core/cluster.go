@@ -5,14 +5,18 @@ import (
 	"fmt"
 
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
 	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/mem"
 	"twochains/internal/memsim"
 	"twochains/internal/sim"
-	"twochains/internal/simnet"
 	"twochains/internal/ucx"
 	"twochains/internal/vm"
+
+	// Register the default "simnet" fabric backend; core itself speaks
+	// only to the fabric.Transport interface.
+	_ "twochains/internal/simnet"
 )
 
 // ClusterConfig selects fabric-wide behaviour.
@@ -20,6 +24,9 @@ type ClusterConfig struct {
 	// Ordered is the fabric write-order guarantee (paper testbed: true).
 	Ordered bool
 	Seed    uint64
+	// Backend names the fabric transport ("" selects the default,
+	// "simnet"); see fabric.Backends for the registered set.
+	Backend string
 }
 
 // DefaultClusterConfig matches the paper's testbed.
@@ -27,19 +34,24 @@ func DefaultClusterConfig() ClusterConfig {
 	return ClusterConfig{Ordered: true, Seed: 0x7c2c2021}
 }
 
-// Cluster is a set of simulated processes on one RDMA fabric sharing a
+// Cluster is a set of simulated processes on one fabric backend sharing a
 // discrete-event clock.
 type Cluster struct {
 	Eng    *sim.Engine
-	Fabric *simnet.Fabric
+	Fabric fabric.Transport
 	Ctx    *ucx.Context
 	Nodes  []*Node
 }
 
-// NewCluster creates an empty cluster.
+// NewCluster creates an empty cluster. It panics on an unregistered
+// backend name; callers that take the name from configuration should
+// validate it with fabric.Lookup first (tc.NewSystem and NewMesh do).
 func NewCluster(cfg ClusterConfig) *Cluster {
 	eng := sim.NewEngine()
-	fab := simnet.NewFabric(eng, simnet.Config{Ordered: cfg.Ordered, Seed: cfg.Seed})
+	fab, err := fabric.New(cfg.Backend, eng, fabric.Config{Ordered: cfg.Ordered, Seed: cfg.Seed})
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	return &Cluster{Eng: eng, Fabric: fab, Ctx: ucx.NewContext(fab)}
 }
 
@@ -112,6 +124,8 @@ type Node struct {
 	// jams is the sender-side prepared-jam cache shared by every outgoing
 	// channel of this node (bind once per element + receiver namespace).
 	jams *jamCache
+	// down marks a torn-down node: sends addressed to it fail fast.
+	down bool
 	// OnExecuted observes every handler execution (benchmark hook).
 	OnExecuted func(ret uint64, cost sim.Duration, err error)
 }

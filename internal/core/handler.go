@@ -38,6 +38,22 @@ func (n *Node) AddMailbox(cfg mailbox.ReceiverConfig) (*mailbox.Receiver, error)
 	return recv, nil
 }
 
+// Teardown takes the node out of service: every armed mailbox region
+// stops being polled and subsequent sends addressed to this node fail
+// fast with an error instead of landing in a dead region. The node's
+// memory and installed packages stay intact (a torn-down process, not a
+// wiped machine); frames already in flight still land but are not
+// serviced.
+func (n *Node) Teardown() {
+	n.down = true
+	for _, r := range n.Receivers {
+		r.Stop()
+	}
+}
+
+// Down reports whether the node has been torn down.
+func (n *Node) Down() bool { return n.down }
+
 // dispatch executes one delivered active message. It implements both
 // invocation methods of §IV-B: Injected Function (run the code that
 // arrived in the frame) and Local Function (call the library function

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
+	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
 )
@@ -19,12 +21,20 @@ type MeshConfig struct {
 
 	Cluster ClusterConfig
 	Node    NodeConfig
+	// PerNode, when set, derives node i's configuration from the Node
+	// template — heterogeneous deployments (per-node seeds, asymmetric
+	// feature ablations) without giving up the single-template default.
+	PerNode func(i int, cfg NodeConfig) NodeConfig
 
 	// Geometry is the per-channel mailbox shape; Credits arms bank-flag
 	// flow control on every channel; WaitMode applies to both sides.
 	Geometry mailbox.Geometry
 	Credits  bool
 	WaitMode cpusim.WaitMode
+	// ReceiverTweak, when set, post-processes every per-channel receiver
+	// configuration (ablations: variable frames, GP insertion, page
+	// permissions) after the shared geometry/credits/waitmode defaults.
+	ReceiverTweak func(mailbox.ReceiverConfig) mailbox.ReceiverConfig
 
 	// Channel is the sender-options template applied to every channel
 	// (geometry and credits are filled in per destination).
@@ -87,6 +97,10 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("core: mesh needs >= 2 nodes, got %d", cfg.Nodes)
 	}
+	if !fabric.Lookup(cfg.Cluster.Backend) {
+		return nil, fmt.Errorf("core: unknown fabric backend %q (registered: %v)",
+			cfg.Cluster.Backend, fabric.Backends())
+	}
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
@@ -114,7 +128,11 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		rng:     sim.NewRNG(cfg.Cluster.Seed ^ 0x6d657368), // "mesh"
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := cl.AddNode(fmt.Sprintf("n%02d", i), cfg.Node)
+		ncfg := cfg.Node
+		if cfg.PerNode != nil {
+			ncfg = cfg.PerNode(i, ncfg)
+		}
+		n, err := cl.AddNode(fmt.Sprintf("n%02d", i), ncfg)
 		if err != nil {
 			return nil, err
 		}
@@ -154,11 +172,15 @@ func (m *Mesh) InstallPackage(pkg *Package) error {
 	return nil
 }
 
-// receiverConfig builds the per-channel receiver configuration.
+// receiverConfig builds the per-channel receiver configuration through
+// the shared mailbox builder, then applies the deployment's tweak.
 func (m *Mesh) receiverConfig() mailbox.ReceiverConfig {
-	rcfg := mailbox.DefaultReceiverConfig(m.Cfg.Geometry)
-	rcfg.Credits = m.Cfg.Credits
-	rcfg.WaitMode = m.Cfg.WaitMode
+	rcfg := mailbox.DefaultReceiverConfig(m.Cfg.Geometry).
+		WithCredits(m.Cfg.Credits).
+		WithWaitMode(m.Cfg.WaitMode)
+	if m.Cfg.ReceiverTweak != nil {
+		rcfg = m.Cfg.ReceiverTweak(rcfg)
+	}
 	return rcfg
 }
 
@@ -174,6 +196,11 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 	key := [2]int{src, dst}
 	if ch, ok := m.chans[key]; ok {
 		return ch, nil
+	}
+	if m.nodes[dst].down {
+		// Refuse to arm a fresh mailbox region on a torn-down node: the
+		// teardown guarantee is that the node stops being polled.
+		return nil, fmt.Errorf("core: mesh channel %d->%d: destination node torn down", src, dst)
 	}
 	recv, err := m.nodes[dst].AddMailbox(m.receiverConfig())
 	if err != nil {
@@ -248,6 +275,17 @@ func (m *Mesh) RefreshNames(dst int) {
 			ch.remoteNames, ch.remoteFP = snap.names, snap.fp
 		}
 	})
+}
+
+// InstallRied ships a standalone RIED image to node i and loads it,
+// optionally replacing existing bindings — the remote-linking dynamic
+// update path, addressed by node index. Channels into the node pick up
+// the new namespace after RefreshNames.
+func (m *Mesh) InstallRied(i int, img *linker.Image, replace bool) (*linker.Loaded, error) {
+	if i < 0 || i >= len(m.nodes) {
+		return nil, fmt.Errorf("core: mesh node %d out of range (%d nodes)", i, len(m.nodes))
+	}
+	return m.nodes[i].InstallRied(img, replace)
 }
 
 // Run processes events until the mesh is quiescent.

@@ -1,0 +1,168 @@
+// Package fabric defines the pluggable interconnect backend interface the
+// Two-Chains runtime is built against. The runtime layers (ucx, mailbox,
+// core, tc) speak only to Transport and Port; concrete interconnect models
+// register themselves by name, so alternate backends can be slotted into a
+// deployment without the upper layers changing.
+//
+// Two backends ship in-tree:
+//
+//   - "simnet" (package internal/simnet, the default): the paper-testbed
+//     RDMA model — per-direction wires, NIC tx queues, fabric-shard spine
+//     uplinks, protocol-tier costs, optional unordered delivery.
+//   - "ideal": a contention-free fabric implemented in this package. Puts
+//     pay only base latency plus wire time, never queueing. It is the
+//     upper-bound ablation: the gap between "ideal" and "simnet" numbers
+//     is the cost of the modeled interconnect.
+//
+// The interface is deliberately small — endpoint create (Attach), remote
+// put (Port.Put), and rkey exchange (Port.RegisterMemory) — mirroring the
+// three capabilities the paper's runtime needs from its communication
+// framework.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/sim"
+)
+
+// RKey is an InfiniBand-style 32-bit remote access key. A put with an
+// invalid or mismatched rkey is rejected at the (simulated) hardware level.
+type RKey uint32
+
+// Access is the remote permission mask carried by a registration.
+type Access uint8
+
+const (
+	RemoteRead Access = 1 << iota
+	RemoteWrite
+	RemoteAtomic
+)
+
+// PutResult reports the outcome of a one-sided operation to its initiator.
+type PutResult struct {
+	Err       error
+	Delivered sim.Time // delivery time at the target (zero on error)
+}
+
+// Port is one host's attachment to the fabric: the NIC-level surface the
+// runtime uses. A Port only talks to Ports of the same Transport.
+type Port interface {
+	// RegisterMemory pins [base, base+size) for remote access and returns
+	// the rkey peers must present — the exchange step of an RDMA setup.
+	RegisterMemory(base uint64, size int, access Access) (RKey, error)
+	// Deregister removes a registration.
+	Deregister(key RKey)
+	// Put issues a one-sided write of size bytes from the local srcVA to
+	// dstVA on the destination port, authorized by key. Delivery happens
+	// with no destination-CPU involvement; onComplete fires at the
+	// initiator with the delivery time (or the rejection error).
+	Put(dst Port, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult))
+	// Fence orders later puts to dst after all earlier ones — the explicit
+	// primitive for fabrics without a write-order guarantee.
+	Fence(dst Port)
+	// SetDeliveryHook registers an observer for every inbound put.
+	SetDeliveryHook(fn func(va uint64, size int))
+	// AddDeliveryHookRange registers an observer invoked only for puts
+	// intersecting [base, base+size) — the scalable form for per-region
+	// watchers like mailbox receivers and credit-flag arrays.
+	AddDeliveryHookRange(base uint64, size int, fn func(va uint64, size int))
+	// AddressSpace returns the host memory this port DMAs into.
+	AddressSpace() *mem.AddressSpace
+	// Label names the port for diagnostics.
+	Label() string
+}
+
+// Transport is one interconnect backend instance: it attaches hosts
+// (endpoint create) and places them into fabric shards.
+type Transport interface {
+	// Engine is the discrete-event clock every operation schedules on.
+	Engine() *sim.Engine
+	// Attach adds a host to the fabric. hier may be nil (no cache model);
+	// when present, inbound traffic is stashed through it.
+	Attach(as *mem.AddressSpace, hier *memsim.Hierarchy) Port
+	// AssignDomain places a port into a fabric shard (leaf domain).
+	// Backends without a topology model may ignore it.
+	AssignDomain(p Port, domain int)
+	// DomainOf reports a port's fabric shard (0 when never assigned).
+	DomainOf(p Port) int
+}
+
+// Config sets backend-independent fabric characteristics; backends are free
+// to ignore fields their model has no use for.
+type Config struct {
+	// Ordered selects the in-order write delivery guarantee between host
+	// pairs (true on the paper's testbed).
+	Ordered bool
+	// Seed drives the backend's stochastic models (rkey generation,
+	// delivery jitter).
+	Seed uint64
+}
+
+// Constructor builds one backend instance on the given engine.
+type Constructor func(eng *sim.Engine, cfg Config) Transport
+
+// DefaultBackend is the backend New selects for the empty name.
+const DefaultBackend = "simnet"
+
+var (
+	regMu    sync.RWMutex
+	backends = map[string]Constructor{}
+)
+
+// Register makes a backend available under name. It is intended to be
+// called from backend package init functions; registering a duplicate name
+// panics.
+func Register(name string, c Constructor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || c == nil {
+		panic("fabric: Register with empty name or nil constructor")
+	}
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("fabric: backend %q registered twice", name))
+	}
+	backends[name] = c
+}
+
+// Lookup reports whether a backend name is registered ("" resolves to the
+// default).
+func Lookup(name string) bool {
+	if name == "" {
+		name = DefaultBackend
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := backends[name]
+	return ok
+}
+
+// Backends lists the registered backend names in sorted order.
+func Backends() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New instantiates the named backend ("" selects DefaultBackend).
+func New(name string, eng *sim.Engine, cfg Config) (Transport, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	regMu.RLock()
+	c, ok := backends[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return c(eng, cfg), nil
+}

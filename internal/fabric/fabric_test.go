@@ -1,0 +1,122 @@
+package fabric_test
+
+import (
+	"strings"
+	"testing"
+
+	"twochains/internal/fabric"
+	"twochains/internal/mem"
+	"twochains/internal/sim"
+
+	_ "twochains/internal/simnet" // register the default backend
+)
+
+func TestRegistry(t *testing.T) {
+	names := fabric.Backends()
+	want := map[string]bool{"ideal": false, "simnet": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("backend %q not registered (have %v)", n, names)
+		}
+	}
+	if !fabric.Lookup("") {
+		t.Error("empty name does not resolve to the default backend")
+	}
+	if fabric.Lookup("warp-drive") {
+		t.Error("Lookup found an unregistered backend")
+	}
+	if _, err := fabric.New("warp-drive", sim.NewEngine(), fabric.Config{}); err == nil {
+		t.Error("New with unknown backend did not fail")
+	}
+}
+
+// newIdealPair brings up two hosts on the ideal backend with a registered
+// landing buffer on b.
+func newIdealPair(t *testing.T) (*sim.Engine, fabric.Port, fabric.Port, uint64, fabric.RKey, *mem.AddressSpace) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tr, err := fabric.New("ideal", eng, fabric.Config{Ordered: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asA, asB := mem.NewAddressSpace(1<<20), mem.NewAddressSpace(1<<20)
+	a := tr.Attach(asA, nil)
+	b := tr.Attach(asB, nil)
+	buf, err := asB.AllocPages("landing", 4096, mem.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := b.RegisterMemory(buf, 4096, fabric.RemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a, b, buf, key, asB
+}
+
+func TestIdealPutDelivers(t *testing.T) {
+	eng, a, b, buf, key, asB := newIdealPair(t)
+	srcVA, err := allocAndFill(t, a, []byte("hello, ideal fabric!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := 0
+	b.AddDeliveryHookRange(buf, 4096, func(va uint64, size int) { hooked++ })
+	var delivered sim.Time
+	a.Put(b, srcVA, buf, 20, key, func(res fabric.PutResult) {
+		if res.Err != nil {
+			t.Errorf("put failed: %v", res.Err)
+		}
+		delivered = res.Delivered
+	})
+	eng.Run()
+	if delivered == 0 {
+		t.Fatal("no delivery")
+	}
+	if hooked != 1 {
+		t.Fatalf("delivery hook fired %d times", hooked)
+	}
+	got, err := asB.ReadBytesDMA(buf, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello, ideal fabric!" {
+		t.Fatalf("landed bytes %q", got)
+	}
+}
+
+func TestIdealRejectsBadRkey(t *testing.T) {
+	eng, a, b, buf, key, _ := newIdealPair(t)
+	srcVA, err := allocAndFill(t, a, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	a.Put(b, srcVA, buf, 1, key+1, func(res fabric.PutResult) { gotErr = res.Err })
+	eng.Run()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "rkey") {
+		t.Fatalf("bad rkey not rejected: %v", gotErr)
+	}
+	// Out-of-registration access is rejected too.
+	gotErr = nil
+	a.Put(b, srcVA, buf+4095, 16, key, func(res fabric.PutResult) { gotErr = res.Err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("out-of-bounds put not rejected")
+	}
+}
+
+// allocAndFill places data into a fresh buffer on the port's address
+// space.
+func allocAndFill(t *testing.T, p fabric.Port, data []byte) (uint64, error) {
+	t.Helper()
+	va, err := p.AddressSpace().AllocPages("src", 4096, mem.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	return va, p.AddressSpace().WriteBytes(va, data)
+}

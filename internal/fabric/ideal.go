@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"fmt"
+
+	"twochains/internal/mem"
+	"twochains/internal/memsim"
+	"twochains/internal/model"
+	"twochains/internal/sim"
+)
+
+func init() {
+	Register("ideal", NewIdeal)
+}
+
+// Ideal is the contention-free reference backend: every put pays the base
+// one-way latency plus wire serialization time for its size, and nothing
+// else — no NIC occupancy, no shared wires, no spine uplinks, no protocol
+// jitter. Delivery to a given destination is always in order (a later put
+// never lands before an earlier one), so Fence is a no-op. It exists as
+// the upper-bound ablation
+// for the modeled backends and as the reference implementation of the
+// Transport contract.
+type Ideal struct {
+	eng   *sim.Engine
+	ports []*idealPort
+	rng   *sim.RNG
+}
+
+// NewIdeal constructs the ideal backend; it is registered as "ideal".
+func NewIdeal(eng *sim.Engine, cfg Config) Transport {
+	return &Ideal{eng: eng, rng: sim.NewRNG(cfg.Seed ^ 0x697f4561)}
+}
+
+// Engine returns the event clock.
+func (f *Ideal) Engine() *sim.Engine { return f.eng }
+
+// Attach adds a host port.
+func (f *Ideal) Attach(as *mem.AddressSpace, hier *memsim.Hierarchy) Port {
+	p := &idealPort{
+		fab:         f,
+		id:          len(f.ports),
+		as:          as,
+		hier:        hier,
+		regs:        map[RKey]idealReg{},
+		rng:         f.rng.Split(),
+		lastArrival: map[int]sim.Time{},
+	}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// AssignDomain is a no-op: the ideal fabric has no topology.
+func (f *Ideal) AssignDomain(Port, int) {}
+
+// DomainOf always reports domain 0.
+func (f *Ideal) DomainOf(Port) int { return 0 }
+
+type idealReg struct {
+	base   uint64
+	size   int
+	access Access
+}
+
+type idealPort struct {
+	fab   *Ideal
+	id    int
+	as    *mem.AddressSpace
+	hier  *memsim.Hierarchy
+	regs  map[RKey]idealReg
+	rng   *sim.RNG
+	hooks []idealHook
+	// lastArrival enforces in-order delivery per destination: a put may
+	// not land before an earlier put to the same peer, even when its
+	// smaller size gives it a shorter wire time. This is what makes the
+	// no-op Fence sound.
+	lastArrival map[int]sim.Time
+}
+
+type idealHook struct {
+	base, end uint64 // end == 0 matches every put
+	fn        func(va uint64, size int)
+}
+
+func (p *idealPort) Label() string { return fmt.Sprintf("ideal%d", p.id) }
+
+// AddressSpace returns the host memory this port DMAs into.
+func (p *idealPort) AddressSpace() *mem.AddressSpace { return p.as }
+
+func (p *idealPort) RegisterMemory(base uint64, size int, access Access) (RKey, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("fabric: ideal: register: non-positive size")
+	}
+	if _, err := p.as.ReadBytesDMA(base, 1); err != nil {
+		return 0, fmt.Errorf("fabric: ideal: register: base unmapped: %w", err)
+	}
+	if _, err := p.as.ReadBytesDMA(base+uint64(size)-1, 1); err != nil {
+		return 0, fmt.Errorf("fabric: ideal: register: end unmapped: %w", err)
+	}
+	var key RKey
+	for {
+		key = RKey(p.rng.Uint64())
+		if key == 0 {
+			continue
+		}
+		if _, dup := p.regs[key]; !dup {
+			break
+		}
+	}
+	p.regs[key] = idealReg{base: base, size: size, access: access}
+	return key, nil
+}
+
+func (p *idealPort) Deregister(key RKey) { delete(p.regs, key) }
+
+func (p *idealPort) SetDeliveryHook(fn func(va uint64, size int)) {
+	p.hooks = append(p.hooks, idealHook{fn: fn})
+}
+
+func (p *idealPort) AddDeliveryHookRange(base uint64, size int, fn func(va uint64, size int)) {
+	p.hooks = append(p.hooks, idealHook{base: base, end: base + uint64(size), fn: fn})
+}
+
+func (p *idealPort) check(key RKey, va uint64, size int, want Access) error {
+	reg, ok := p.regs[key]
+	if !ok {
+		return fmt.Errorf("fabric: ideal: invalid rkey %#x", key)
+	}
+	if va < reg.base || va+uint64(size) > reg.base+uint64(reg.size) {
+		return fmt.Errorf("fabric: ideal: access [0x%x,+%d) outside registration [0x%x,+%d)",
+			va, size, reg.base, reg.size)
+	}
+	if reg.access&want == 0 {
+		return fmt.Errorf("fabric: ideal: registration %#x lacks permission %d", key, want)
+	}
+	return nil
+}
+
+// Put copies the bytes after the ideal one-way delay: base latency plus
+// wire time, unconditionally — the fabric itself is never the bottleneck.
+// Delivery to one destination is in order: a later (smaller) put never
+// overtakes an earlier one, so the write-order guarantee holds and Fence
+// can remain a no-op.
+func (p *idealPort) Put(dst Port, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult)) {
+	eng := p.fab.eng
+	d, ok := dst.(*idealPort)
+	if !ok {
+		eng.After(0, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: fmt.Errorf("fabric: ideal: destination %s is not an ideal port", dst.Label())})
+			}
+		})
+		return
+	}
+	data, err := p.as.ReadBytesDMA(srcVA, size)
+	if err != nil {
+		eng.After(0, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: fmt.Errorf("fabric: ideal: local DMA read: %w", err)})
+			}
+		})
+		return
+	}
+	arrival := eng.Now().Add(model.PutBaseLat + model.WireTime(size))
+	if last := p.lastArrival[d.id]; arrival < last {
+		arrival = last
+	}
+	p.lastArrival[d.id] = arrival
+	if err := d.check(key, dstVA, size, RemoteWrite); err != nil {
+		eng.At(arrival, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: err})
+			}
+		})
+		return
+	}
+	eng.At(arrival, func() {
+		if err := d.as.WriteBytesDMA(dstVA, data); err != nil {
+			panic(fmt.Sprintf("fabric: ideal: delivery DMA failed inside registration: %v", err))
+		}
+		if d.hier != nil {
+			d.hier.NetworkWrite(dstVA, size)
+		}
+		for _, h := range d.hooks {
+			if h.end == 0 || (dstVA < h.end && dstVA+uint64(size) > h.base) {
+				h.fn(dstVA, size)
+			}
+		}
+		if onComplete != nil {
+			onComplete(PutResult{Delivered: eng.Now()})
+		}
+	})
+}
+
+// Fence is a no-op: per-destination deliveries are already in order (see
+// Put), so there is nothing to serialize.
+func (p *idealPort) Fence(Port) {}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
 	"twochains/internal/mem"
 	"twochains/internal/memsim"
 	"twochains/internal/model"
 	"twochains/internal/sim"
-	"twochains/internal/simnet"
 	"twochains/internal/ucx"
 )
 
@@ -40,9 +40,51 @@ type ReceiverConfig struct {
 }
 
 // DefaultReceiverConfig returns the paper's measurement configuration:
-// fixed frames, RWX mailbox pages, polling wait.
+// fixed frames, RWX mailbox pages, polling wait. It is the single source
+// of receiver defaults; every deployment path (two-node clusters, mesh
+// per-channel regions, perf rigs) starts from it and layers options on
+// with the With* builder methods.
 func DefaultReceiverConfig(g Geometry) ReceiverConfig {
 	return ReceiverConfig{Geometry: g, WaitMode: cpusim.Poll, PagePerm: mem.PermRWX}
+}
+
+// The With* methods below form the ReceiverConfig builder: each returns an
+// updated copy, so call sites chain the deviations from the default
+// instead of hand-assigning fields —
+//
+//	rcfg := mailbox.DefaultReceiverConfig(geom).WithCredits(true).WithWaitMode(cpusim.WFE)
+
+// WithCredits toggles bank-granular flow control.
+func (c ReceiverConfig) WithCredits(on bool) ReceiverConfig {
+	c.Credits = on
+	return c
+}
+
+// WithWaitMode selects the wait-episode cycle accounting mode.
+func (c ReceiverConfig) WithWaitMode(m cpusim.WaitMode) ReceiverConfig {
+	c.WaitMode = m
+	return c
+}
+
+// WithVariableFrames toggles the variable-size frame protocol (a second
+// wait episode per message).
+func (c ReceiverConfig) WithVariableFrames(on bool) ReceiverConfig {
+	c.VariableFrames = on
+	return c
+}
+
+// WithInsertGp makes the receiver overwrite the travelling GOT pointer on
+// arrival (paper §V security option).
+func (c ReceiverConfig) WithInsertGp(on bool) ReceiverConfig {
+	c.InsertGp = on
+	return c
+}
+
+// WithPagePerm sets the mailbox page permission (security ablations split
+// the paper's compact RWX layout).
+func (c ReceiverConfig) WithPagePerm(p mem.Perm) ReceiverConfig {
+	c.PagePerm = p
+	return c
 }
 
 // ReceiverStats counts receiver-side activity.
@@ -69,7 +111,7 @@ type Receiver struct {
 
 	creditEp  *ucx.Endpoint
 	creditVA  uint64
-	creditKey simnet.RKey
+	creditKey fabric.RKey
 
 	eng       *sim.Engine
 	nextSeq   uint32
@@ -93,7 +135,7 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 	if err != nil {
 		return nil, err
 	}
-	m, err := w.RegisterMemory(base, cfg.Geometry.RegionSize(), simnet.RemoteWrite)
+	m, err := w.RegisterMemory(base, cfg.Geometry.RegionSize(), fabric.RemoteWrite)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +146,7 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 		Handler: handler,
 		BaseVA:  base,
 		Mem:     m,
-		eng:     w.Ctx.Fabric.Engine,
+		eng:     w.Ctx.Fabric.Engine(),
 		nextSeq: 1,
 	}
 	w.NIC.AddDeliveryHookRange(base, cfg.Geometry.RegionSize(),
@@ -115,7 +157,7 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 // SetCreditReturn wires the credit path back to the sender: ep must be an
 // endpoint from this node to the sender, and (va, key) the sender's credit
 // flag array.
-func (r *Receiver) SetCreditReturn(ep *ucx.Endpoint, va uint64, key simnet.RKey) {
+func (r *Receiver) SetCreditReturn(ep *ucx.Endpoint, va uint64, key fabric.RKey) {
 	r.creditEp = ep
 	r.creditVA = va
 	r.creditKey = key
@@ -134,6 +176,11 @@ func (r *Receiver) Start() {
 	r.waitStart = r.eng.Now()
 	r.poke()
 }
+
+// Stop disarms the receive loop: frames already landed (or still in
+// flight) stay in the region but are no longer serviced. Part of node
+// teardown; a stopped receiver can be re-armed with Start.
+func (r *Receiver) Stop() { r.started = false }
 
 func (r *Receiver) frameVA(seq uint32) uint64 {
 	_, _, off := r.Cfg.Geometry.SlotFor(seq)

@@ -4,10 +4,10 @@ import (
 	"encoding/binary"
 
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
 	"twochains/internal/mem"
 	"twochains/internal/model"
 	"twochains/internal/sim"
-	"twochains/internal/simnet"
 	"twochains/internal/ucx"
 )
 
@@ -51,7 +51,7 @@ type Sender struct {
 	Counter *cpusim.Counter
 
 	RemoteBase uint64
-	RemoteKey  simnet.RKey
+	RemoteKey  fabric.RKey
 
 	// Credit flag array (one u64 per bank) in the sender's memory,
 	// remotely writable by the receiver.
@@ -73,7 +73,7 @@ type queuedSend struct {
 
 // NewSender builds a sender on w targeting the remote mailbox region
 // (base, key) through ep. The remote region must use the same geometry.
-func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uint64, remoteKey simnet.RKey, counter *cpusim.Counter) (*Sender, error) {
+func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uint64, remoteKey fabric.RKey, counter *cpusim.Counter) (*Sender, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 		Counter:    counter,
 		RemoteBase: remoteBase,
 		RemoteKey:  remoteKey,
-		eng:        w.Ctx.Fabric.Engine,
+		eng:        w.Ctx.Fabric.Engine(),
 		staging:    staging,
 		seq:        1,
 	}
@@ -98,7 +98,7 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 			return nil, err
 		}
 		s.CreditVA = va
-		creditMem, err := w.RegisterMemory(va, cfg.Geometry.Banks*8, simnet.RemoteWrite)
+		creditMem, err := w.RegisterMemory(va, cfg.Geometry.Banks*8, fabric.RemoteWrite)
 		if err != nil {
 			return nil, err
 		}

@@ -5,11 +5,12 @@ import (
 
 	"twochains/internal/core"
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
 	"twochains/internal/mailbox"
 	"twochains/internal/mem"
 	"twochains/internal/memsim"
 	"twochains/internal/sim"
-	"twochains/internal/simnet"
+	"twochains/internal/tc"
 )
 
 // WorkloadKind selects the message type a driver sends.
@@ -72,15 +73,18 @@ type RunResult struct {
 	Errors    int
 }
 
-// rig is a fully provisioned two-node Two-Chains deployment.
+// rig is a fully provisioned two-node Two-Chains deployment: a 2-node
+// tc.System with both directions connected and a pre-resolved Func handle
+// per direction (bind once, send many).
 type rig struct {
-	cl       *core.Cluster
-	a, b     *core.Node
-	ab, ba   *core.Channel
-	frame    int
-	cfg      RunConfig
-	payload  []byte
-	errCount int
+	sys        *tc.System
+	a, b       *core.Node
+	ab, ba     *core.Channel
+	fnAB, fnBA *tc.Func // nil for WkData runs
+	frame      int
+	cfg        RunConfig
+	payload    []byte
+	errCount   int
 }
 
 // message builds the benchmark message template to size frames.
@@ -126,60 +130,72 @@ func buildRig(cfg RunConfig, geom mailbox.Geometry, credits bool) (*rig, error) 
 		return nil, err
 	}
 
-	cl := core.NewCluster(core.ClusterConfig{Ordered: cfg.Ordered, Seed: cfg.NodeCfg.Seed})
-	cfgA, cfgB := cfg.NodeCfg, cfg.NodeCfg
-	cfgB.Seed ^= 0x5a5a
-	a, err := cl.AddNode("initiator", cfgA)
+	sys, err := tc.NewSystem(2,
+		tc.WithNodeConfig(cfg.NodeCfg),
+		tc.WithPerNode(func(i int, nc core.NodeConfig) core.NodeConfig {
+			if i == 1 {
+				nc.Seed ^= 0x5a5a
+			}
+			return nc
+		}),
+		tc.WithOrdered(cfg.Ordered),
+		tc.WithGeometry(geom),
+		tc.WithCredits(credits),
+		tc.WithWaitMode(cfg.WaitMode),
+		tc.WithReceiverTweak(func(rc mailbox.ReceiverConfig) mailbox.ReceiverConfig {
+			return rc.WithVariableFrames(cfg.VariableFrames).WithInsertGp(cfg.InsertGp)
+		}),
+		tc.WithChannelOptions(core.ChannelOptions{
+			Sender:          mailbox.SenderConfig{SeparateSignal: cfg.SeparateSignal},
+			AutoSwitchAfter: cfg.AutoSwitchAfter,
+		}),
+		tc.WithConfig(func(c *core.MeshConfig) { c.Cluster.Seed = cfg.NodeCfg.Seed }),
+	)
 	if err != nil {
 		return nil, err
 	}
-	b, err := cl.AddNode("target", cfgB)
+	if err := sys.InstallPackage(pkg); err != nil {
+		return nil, err
+	}
+	a, b := sys.Node(0), sys.Node(1)
+	a.SetStress(cfg.Stress)
+	b.SetStress(cfg.Stress)
+	ab, err := sys.Channel(0, 1)
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range []*core.Node{a, b} {
-		if _, err := n.InstallPackage(pkg); err != nil {
+	ba, err := sys.Channel(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &rig{sys: sys, a: a, b: b, ab: ab, ba: ba, frame: geom.FrameSize, cfg: cfg, payload: payload}
+	if cfg.Kind != WkData {
+		if r.fnAB, err = sys.Func(0, "tcbench", cfg.Elem); err != nil {
 			return nil, err
 		}
-		rcfg := mailbox.DefaultReceiverConfig(geom)
-		rcfg.WaitMode = cfg.WaitMode
-		rcfg.Credits = credits
-		rcfg.VariableFrames = cfg.VariableFrames
-		rcfg.InsertGp = cfg.InsertGp
-		if err := n.EnableMailbox(rcfg); err != nil {
+		if r.fnBA, err = sys.Func(1, "tcbench", cfg.Elem); err != nil {
 			return nil, err
 		}
-		n.SetStress(cfg.Stress)
 	}
-	chOpts := core.ChannelOptions{
-		Sender: mailbox.SenderConfig{
-			Geometry:       geom,
-			WaitMode:       cfg.WaitMode,
-			SeparateSignal: cfg.SeparateSignal,
-		},
-		AutoSwitchAfter: cfg.AutoSwitchAfter,
-	}
-	ab, err := core.Connect(a, b, chOpts)
-	if err != nil {
-		return nil, err
-	}
-	ba, err := core.Connect(b, a, chOpts)
-	if err != nil {
-		return nil, err
-	}
-	return &rig{cl: cl, a: a, b: b, ab: ab, ba: ba, frame: geom.FrameSize, cfg: cfg, payload: payload}, nil
+	return r, nil
 }
 
-// send issues one benchmark message on ch.
-func (r *rig) send(ch *core.Channel, i int) error {
+// send issues one benchmark message in the given direction through the
+// pre-resolved handle.
+func (r *rig) send(fn *tc.Func, ch *core.Channel, dst, i int) error {
 	switch r.cfg.Kind {
 	case WkData:
 		ch.SendData(r.payload, nil)
 		return nil
 	case WkLocal:
-		return ch.CallLocal("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
+		return fn.Call(dst, [2]uint64{r.cfg.KeyFn(i), 0}, tc.Local(), tc.Payload(r.payload)).IssueErr()
 	default:
-		return ch.Inject("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
+		if r.cfg.AutoSwitchAfter > 0 {
+			// The auto-switch heuristic is a policy of the string-based
+			// channel path; its ablation measures exactly that path.
+			return ch.Inject("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
+		}
+		return fn.Call(dst, [2]uint64{r.cfg.KeyFn(i), 0}, tc.Payload(r.payload)).IssueErr()
 	}
 }
 
@@ -198,23 +214,25 @@ func PingPong(cfg RunConfig) (*RunResult, error) {
 	iter := 0
 	var t0 sim.Time
 	countErr := func(d *mailbox.Delivery, err error) { res.Errors++ }
-	r.a.Receiver.OnError = countErr
-	r.b.Receiver.OnError = countErr
+	// Each direction lands in its own mailbox region: a->b in ab.Recv
+	// (on b), b->a in ba.Recv (on a).
+	r.ab.Recv.OnError = countErr
+	r.ba.Recv.OnError = countErr
 
 	var ping func()
 	ping = func() {
-		t0 = r.cl.Eng.Now()
-		if err := r.send(r.ab, iter); err != nil {
+		t0 = r.sys.Now()
+		if err := r.send(r.fnAB, r.ab, 1, iter); err != nil {
 			res.Errors++
 		}
 	}
-	r.b.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
-		if err := r.send(r.ba, iter); err != nil {
+	r.ab.Recv.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+		if err := r.send(r.fnBA, r.ba, 0, iter); err != nil {
 			res.Errors++
 		}
 	}
-	r.a.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
-		rtt := r.cl.Eng.Now().Sub(t0)
+	r.ba.Recv.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+		rtt := r.sys.Now().Sub(t0)
 		if iter >= cfg.Warmup {
 			res.Samples.Add(rtt / 2)
 		}
@@ -223,8 +241,8 @@ func PingPong(cfg RunConfig) (*RunResult, error) {
 			ping()
 		}
 	}
-	r.cl.Eng.After(0, ping)
-	r.cl.Run()
+	r.sys.Engine().After(0, ping)
+	r.sys.Run()
 
 	res.CyclesA = r.a.Counter.Total()
 	res.CyclesB = r.b.Counter.Total()
@@ -249,22 +267,22 @@ func InjectionRate(cfg RunConfig) (*RunResult, error) {
 	total := cfg.Warmup + cfg.Iters
 	processed := 0
 	var tStart, tEnd sim.Time
-	r.b.Receiver.OnError = func(d *mailbox.Delivery, err error) { res.Errors++ }
-	r.b.Receiver.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
+	r.ab.Recv.OnError = func(d *mailbox.Delivery, err error) { res.Errors++ }
+	r.ab.Recv.OnProcessed = func(d *mailbox.Delivery, _ sim.Time) {
 		processed++
 		if processed == cfg.Warmup {
-			tStart = r.cl.Eng.Now()
+			tStart = r.sys.Now()
 		}
 		if processed == total {
-			tEnd = r.cl.Eng.Now()
+			tEnd = r.sys.Now()
 		}
 	}
 	for i := 0; i < total; i++ {
-		if err := r.send(r.ab, i); err != nil {
+		if err := r.send(r.fnAB, r.ab, 1, i); err != nil {
 			return nil, err
 		}
 	}
-	r.cl.Run()
+	r.sys.Run()
 
 	if processed < total {
 		return res, fmt.Errorf("perf: injection rate processed %d/%d (errors %d)",
@@ -283,34 +301,34 @@ func InjectionRate(cfg RunConfig) (*RunResult, error) {
 
 // ucxPair is the no-mailbox baseline deployment for Fig. 5/6.
 type ucxPair struct {
-	cl     *core.Cluster
+	sys    *tc.System
 	a, b   *core.Node
 	ab, ba interface {
-		Put(uint64, uint64, int, simnet.RKey, func(error, sim.Time))
+		Put(uint64, uint64, int, fabric.RKey, func(error, sim.Time))
 	}
 	aBuf uint64
 	bBuf uint64
-	aKey simnet.RKey
-	bKey simnet.RKey
+	aKey fabric.RKey
+	bKey fabric.RKey
 }
 
 func buildUcxPair(cfg RunConfig, size int) (*ucxPair, error) {
-	cl := core.NewCluster(core.ClusterConfig{Ordered: cfg.Ordered, Seed: cfg.NodeCfg.Seed})
-	a, err := cl.AddNode("initiator", cfg.NodeCfg)
+	sys, err := tc.NewSystem(2,
+		tc.WithNodeConfig(cfg.NodeCfg),
+		tc.WithOrdered(cfg.Ordered),
+		tc.WithConfig(func(c *core.MeshConfig) { c.Cluster.Seed = cfg.NodeCfg.Seed }),
+	)
 	if err != nil {
 		return nil, err
 	}
-	b, err := cl.AddNode("target", cfg.NodeCfg)
-	if err != nil {
-		return nil, err
-	}
-	p := &ucxPair{cl: cl, a: a, b: b}
-	alloc := func(n *core.Node) (uint64, simnet.RKey, error) {
+	a, b := sys.Node(0), sys.Node(1)
+	p := &ucxPair{sys: sys, a: a, b: b}
+	alloc := func(n *core.Node) (uint64, fabric.RKey, error) {
 		va, err := n.AS.AllocPages("putbuf", size+64, mem.PermRW)
 		if err != nil {
 			return 0, 0, err
 		}
-		m, err := n.Worker.RegisterMemory(va, size+64, simnet.RemoteWrite)
+		m, err := n.Worker.RegisterMemory(va, size+64, fabric.RemoteWrite)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -343,7 +361,7 @@ func UcxPutLatency(cfg RunConfig, size int) (*RunResult, error) {
 
 	var ping func()
 	ping = func() {
-		t0 = p.cl.Eng.Now()
+		t0 = p.sys.Now()
 		p.ab.Put(p.aBuf, p.bBuf, size, p.bKey, nil)
 	}
 	// Receiver-side detection: poll granularity after delivery, plus the
@@ -357,13 +375,13 @@ func UcxPutLatency(cfg RunConfig, size int) (*RunResult, error) {
 		return d
 	}
 	p.b.Worker.NIC.SetDeliveryHook(func(va uint64, n int) {
-		p.cl.Eng.After(detect(p.b, va), func() {
+		p.sys.Engine().After(detect(p.b, va), func() {
 			p.ba.Put(p.bBuf, p.aBuf, size, p.aKey, nil)
 		})
 	})
 	p.a.Worker.NIC.SetDeliveryHook(func(va uint64, n int) {
-		p.cl.Eng.After(detect(p.a, va), func() {
-			rtt := p.cl.Eng.Now().Sub(t0)
+		p.sys.Engine().After(detect(p.a, va), func() {
+			rtt := p.sys.Now().Sub(t0)
 			if iter >= cfg.Warmup {
 				res.Samples.Add(rtt / 2)
 			}
@@ -373,8 +391,8 @@ func UcxPutLatency(cfg RunConfig, size int) (*RunResult, error) {
 			}
 		})
 	})
-	p.cl.Eng.After(0, ping)
-	p.cl.Run()
+	p.sys.Engine().After(0, ping)
+	p.sys.Run()
 	if res.Samples.N() < cfg.Iters {
 		return res, fmt.Errorf("perf: ucx put latency collected %d/%d", res.Samples.N(), cfg.Iters)
 	}
@@ -395,10 +413,10 @@ func UcxPutBandwidth(cfg RunConfig, size int) (*RunResult, error) {
 	var issue func()
 	issue = func() {
 		if i == cfg.Warmup {
-			tStart = p.cl.Eng.Now()
+			tStart = p.sys.Now()
 		}
 		if i == total {
-			tEnd = p.cl.Eng.Now()
+			tEnd = p.sys.Now()
 			return
 		}
 		i++
@@ -410,7 +428,7 @@ func UcxPutBandwidth(cfg RunConfig, size int) (*RunResult, error) {
 		})
 	}
 	issue()
-	p.cl.Run()
+	p.sys.Run()
 	window := tEnd.Sub(tStart).Seconds()
 	if window <= 0 {
 		return res, fmt.Errorf("perf: degenerate put bandwidth window")

@@ -20,22 +20,29 @@ package simnet
 import (
 	"fmt"
 
+	"twochains/internal/fabric"
 	"twochains/internal/mem"
 	"twochains/internal/memsim"
 	"twochains/internal/model"
 	"twochains/internal/sim"
 )
 
+func init() {
+	fabric.Register("simnet", func(eng *sim.Engine, cfg Config) fabric.Transport {
+		return NewFabric(eng, cfg)
+	})
+}
+
 // RKey is an InfiniBand-style 32-bit remote access key.
-type RKey uint32
+type RKey = fabric.RKey
 
 // Access is the remote permission mask carried by a registration.
-type Access uint8
+type Access = fabric.Access
 
 const (
-	RemoteRead Access = 1 << iota
-	RemoteWrite
-	RemoteAtomic
+	RemoteRead   = fabric.RemoteRead
+	RemoteWrite  = fabric.RemoteWrite
+	RemoteAtomic = fabric.RemoteAtomic
 )
 
 // Registration is a pinned, remotely accessible memory region.
@@ -51,27 +58,23 @@ func (r *Registration) Contains(va uint64, size int) bool {
 	return va >= r.Base && va+uint64(size) <= r.Base+uint64(r.Size)
 }
 
-// Config sets fabric-wide characteristics.
-type Config struct {
-	// Ordered selects the in-order write delivery guarantee between host
-	// pairs (true on the paper's testbed).
-	Ordered bool
-	// Seed drives delivery jitter when Ordered is false.
-	Seed uint64
-}
+// Config sets fabric-wide characteristics (the backend-independent set;
+// Seed additionally drives delivery jitter when Ordered is false).
+type Config = fabric.Config
 
 // DefaultConfig matches the paper's testbed.
 func DefaultConfig() Config {
 	return Config{Ordered: true, Seed: model.DefaultSeed}
 }
 
-// Fabric connects NICs with per-direction wires.
+// Fabric connects NICs with per-direction wires. It implements
+// fabric.Transport and registers itself as the "simnet" backend.
 type Fabric struct {
-	Engine *sim.Engine
-	cfg    Config
-	nics   []*NIC
-	wires  map[[2]int]*sim.Resource
-	rng    *sim.RNG
+	eng   *sim.Engine
+	cfg   Config
+	nics  []*NIC
+	wires map[[2]int]*sim.Resource
+	rng   *sim.RNG
 
 	// domains partitions NICs into fabric shards (leaf domains). Traffic
 	// inside one domain rides the dedicated back-to-back wires; traffic
@@ -86,7 +89,7 @@ type Fabric struct {
 // NewFabric creates an empty fabric on the given event engine.
 func NewFabric(engine *sim.Engine, cfg Config) *Fabric {
 	return &Fabric{
-		Engine:  engine,
+		eng:     engine,
 		cfg:     cfg,
 		wires:   map[[2]int]*sim.Resource{},
 		rng:     sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
@@ -95,14 +98,30 @@ func NewFabric(engine *sim.Engine, cfg Config) *Fabric {
 	}
 }
 
-// AssignDomain places a NIC into a fabric shard. Domain numbers are
-// arbitrary labels; equal labels share leaf-local wiring.
-func (f *Fabric) AssignDomain(n *NIC, domain int) {
-	f.domains[n.ID] = domain
+// Engine returns the event clock the fabric schedules on.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Attach adds a host to the fabric (fabric.Transport).
+func (f *Fabric) Attach(as *mem.AddressSpace, hier *memsim.Hierarchy) fabric.Port {
+	return f.AttachNIC(as, hier)
 }
 
-// DomainOf reports a NIC's fabric shard (0 when never assigned).
-func (f *Fabric) DomainOf(n *NIC) int { return f.domains[n.ID] }
+// AssignDomain places a port into a fabric shard. Domain numbers are
+// arbitrary labels; equal labels share leaf-local wiring. Ports of other
+// backends are ignored.
+func (f *Fabric) AssignDomain(p fabric.Port, domain int) {
+	if n, ok := p.(*NIC); ok {
+		f.domains[n.ID] = domain
+	}
+}
+
+// DomainOf reports a port's fabric shard (0 when never assigned).
+func (f *Fabric) DomainOf(p fabric.Port) int {
+	if n, ok := p.(*NIC); ok {
+		return f.domains[n.ID]
+	}
+	return 0
+}
 
 // wire returns the directional wire resource between two NIC ids.
 func (f *Fabric) wire(src, dst int) *sim.Resource {
@@ -187,6 +206,9 @@ func (f *Fabric) AttachNIC(as *mem.AddressSpace, hier *memsim.Hierarchy) *NIC {
 // Stats returns a copy of the traffic counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
+// Label names the port for diagnostics (fabric.Port).
+func (n *NIC) Label() string { return fmt.Sprintf("nic%d", n.ID) }
+
 // AddressSpace returns the host memory this NIC DMAs into.
 func (n *NIC) AddressSpace() *mem.AddressSpace { return n.as }
 
@@ -253,10 +275,7 @@ func (n *NIC) checkAccess(key RKey, va uint64, size int, want Access) error {
 }
 
 // PutResult reports the outcome of a one-sided operation to its initiator.
-type PutResult struct {
-	Err       error
-	Delivered sim.Time // delivery time at the target (zero on error)
-}
+type PutResult = fabric.PutResult
 
 // Put issues a one-sided RDMA write of size bytes from the local address
 // srcVA to dstVA on the target NIC, authorized by key. Callbacks:
@@ -265,8 +284,18 @@ type PutResult struct {
 //     locally (buffer reusable) or is rejected;
 //   - delivery happens at the target with no CPU involvement: bytes land
 //     in memory (stashed into LLC when enabled) and the delivery hook runs.
-func (n *NIC) Put(dst *NIC, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult)) {
-	eng := n.fabric.Engine
+func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult)) {
+	eng := n.fabric.eng
+	dst, ok := dstPort.(*NIC)
+	if !ok {
+		n.stats.Rejected++
+		eng.After(0, func() {
+			if onComplete != nil {
+				onComplete(PutResult{Err: fmt.Errorf("simnet: destination %s is not a simnet port", dstPort.Label())})
+			}
+		})
+		return
+	}
 	n.stats.PutsSent++
 	n.stats.BytesSent += uint64(size)
 
@@ -336,7 +365,7 @@ func (n *NIC) Put(dst *NIC, srcVA, dstVA uint64, size int, key RKey, onComplete 
 // Get issues a one-sided RDMA read of size bytes from srcVA on the target
 // into dstVA locally.
 func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComplete func(PutResult)) {
-	eng := n.fabric.Engine
+	eng := n.fabric.eng
 	n.stats.GetsSent++
 
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
@@ -386,7 +415,7 @@ func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComp
 // AtomicFetchAdd performs a remote 64-bit fetch-and-add at dstVA,
 // delivering the previous value to the callback.
 func (n *NIC) AtomicFetchAdd(dst *NIC, dstVA uint64, add uint64, key RKey, onComplete func(old uint64, res PutResult)) {
-	eng := n.fabric.Engine
+	eng := n.fabric.eng
 	n.stats.AtomicsSent++
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
 	arrival := txDone.Add(model.PutBaseLat)
@@ -426,7 +455,11 @@ func (n *NIC) AtomicFetchAdd(dst *NIC, dstVA uint64, add uint64, key RKey, onCom
 // no earlier than every put issued before it — the explicit ordering
 // primitive needed on fabrics without the write-order guarantee
 // (paper Fig. 1: "each signal put has to follow a fence operation").
-func (n *NIC) Fence(dst *NIC) {
+func (n *NIC) Fence(dstPort fabric.Port) {
+	dst, ok := dstPort.(*NIC)
+	if !ok {
+		return
+	}
 	latest := n.fabric.wire(n.ID, dst.ID).FreeAt().Add(model.PutBaseLat)
 	if !n.fabric.cfg.Ordered {
 		// Cover the jitter window too.

@@ -1,0 +1,257 @@
+package tc
+
+import (
+	"fmt"
+
+	"twochains/internal/core"
+	"twochains/internal/sim"
+)
+
+// Func is a pre-resolved function handle: the element is validated on the
+// source node when the handle is created, and per destination the
+// travelling image (Injected Function) or the receiver-side IDs (Local
+// Function) are bound once, on first Call. Subsequent Calls perform no
+// string resolution — the bind-once/call-many idiom.
+type Func struct {
+	sys       *System
+	src       int
+	pkg, elem string
+	bounds    map[int]*core.Bound
+}
+
+// Func returns a handle for the named element, sent from node src. The
+// element must be installed on src as a jam; unknown packages or elements
+// fail here, not at call time.
+func (s *System) Func(src int, pkg, elem string) (*Func, error) {
+	if src < 0 || src >= s.mesh.Nodes() {
+		return nil, fmt.Errorf("tc: func: source node %d out of range (%d nodes)", src, s.mesh.Nodes())
+	}
+	inst, ok := s.mesh.Node(src).Package(pkg)
+	if !ok {
+		return nil, fmt.Errorf("tc: func: package %q not installed on node %d", pkg, src)
+	}
+	e, ok := inst.Pkg.Element(elem)
+	if !ok {
+		return nil, fmt.Errorf("tc: func: no element %q in package %q", elem, pkg)
+	}
+	if e.Kind != core.ElemJam {
+		return nil, fmt.Errorf("tc: func: element %q in package %q is a %s, not a jam", elem, pkg, e.Kind)
+	}
+	return &Func{sys: s, src: src, pkg: pkg, elem: elem, bounds: map[int]*core.Bound{}}, nil
+}
+
+// Source returns the handle's sending node.
+func (f *Func) Source() int { return f.src }
+
+// Name returns the handle's package/element name.
+func (f *Func) Name() string { return f.pkg + "/" + f.elem }
+
+// bound returns the per-destination handle, creating the channel (and its
+// mailbox region) on first use.
+func (f *Func) bound(dst int) (*core.Bound, error) {
+	if b, ok := f.bounds[dst]; ok {
+		return b, nil
+	}
+	ch, err := f.sys.mesh.Channel(f.src, dst)
+	if err != nil {
+		return nil, err
+	}
+	b := ch.Handle(f.pkg, f.elem)
+	f.bounds[dst] = b
+	return b, nil
+}
+
+// callCfg collects the call options.
+type callCfg struct {
+	local bool
+	usr   []byte
+	burst bool
+	batch [][2]uint64
+}
+
+// CallOpt adjusts one Call.
+type CallOpt func(*callCfg)
+
+// Local selects Local Function invocation: only IDs and payload travel,
+// and the receiver calls its library copy of the function. The default is
+// Injected Function (the code travels in the frame).
+func Local() CallOpt {
+	return func(c *callCfg) { c.local = true }
+}
+
+// Payload attaches the user data payload.
+func Payload(usr []byte) CallOpt {
+	return func(c *callCfg) { c.usr = usr }
+}
+
+// Burst sends the whole batch — one message per args entry — as a single
+// batched operation: the mailbox sender coalesces contiguous frame slots
+// into single puts. The batch replaces Call's single args argument; an
+// empty (or nil) batch sends nothing and resolves immediately.
+func Burst(batch [][2]uint64) CallOpt {
+	return func(c *callCfg) { c.burst, c.batch = true, batch }
+}
+
+// Call sends the function to node dst and returns a Future that resolves
+// when every message of the call has been delivered. Errors — unknown
+// destination, unresolvable symbols, torn-down receiver — surface on the
+// returned future (already resolved), never as a lost callback.
+func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
+	var cfg callCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := 1
+	if cfg.burst {
+		n = len(cfg.batch)
+	}
+	fu := newFuture(f.sys.Engine(), n)
+	if n == 0 {
+		fu.resolve()
+		return fu
+	}
+	b, err := f.bound(dst)
+	if err != nil {
+		fu.fail(err)
+		return fu
+	}
+	switch {
+	case cfg.local && cfg.burst:
+		err = b.CallLocalBurst(cfg.batch, cfg.usr, fu.complete)
+	case cfg.local:
+		err = b.CallLocal(args, cfg.usr, fu.complete)
+	case cfg.burst:
+		err = b.InjectBurst(cfg.batch, cfg.usr, fu.complete)
+	default:
+		err = b.Inject(args, cfg.usr, fu.complete)
+	}
+	if err != nil {
+		fu.fail(err)
+	}
+	return fu
+}
+
+// WireLen reports the frame size an injected Call to dst with a payload
+// of usrLen bytes would occupy; benchmarks use it to size mailbox
+// geometry.
+func (f *Func) WireLen(dst, usrLen int) (int, error) {
+	b, err := f.bound(dst)
+	if err != nil {
+		return 0, err
+	}
+	return b.InjectedWireLen(usrLen)
+}
+
+// Result aggregates the outcome of one Call.
+type Result struct {
+	// N counts delivered messages (1 for a single call, the batch size
+	// for a burst).
+	N int
+	// Err is the first error observed, if any.
+	Err error
+	// Seq is the mailbox sequence number of the call's first message.
+	Seq uint32
+	// Delivered is the latest receiver-side delivery time. Handler
+	// execution happens after delivery; observe it via Node.OnExecuted.
+	Delivered sim.Time
+	// Injected records the invocation method actually used.
+	Injected bool
+}
+
+// Future is the completion handle of one Call. It resolves exactly once,
+// on the shared discrete-event engine — there is no wall-clock waiting
+// and no concurrency; Await replays deterministically for a fixed seed.
+type Future struct {
+	eng      *sim.Engine
+	expect   int
+	resolved bool
+	res      Result
+	cbs      []func(Result)
+}
+
+func newFuture(eng *sim.Engine, expect int) *Future {
+	return &Future{eng: eng, expect: expect}
+}
+
+// complete folds one per-message completion into the aggregate.
+func (fu *Future) complete(r core.Result) {
+	if fu.resolved {
+		return
+	}
+	fu.res.N++
+	if fu.res.Seq == 0 {
+		fu.res.Seq = r.Seq
+	}
+	if r.Err != nil && fu.res.Err == nil {
+		fu.res.Err = r.Err
+	}
+	if r.Delivered > fu.res.Delivered {
+		fu.res.Delivered = r.Delivered
+	}
+	fu.res.Injected = r.Injected
+	if fu.res.N >= fu.expect {
+		fu.resolve()
+	}
+}
+
+func (fu *Future) fail(err error) {
+	if fu.resolved {
+		return
+	}
+	fu.res.Err = err
+	fu.resolve()
+}
+
+func (fu *Future) resolve() {
+	fu.resolved = true
+	cbs := fu.cbs
+	fu.cbs = nil
+	for _, cb := range cbs {
+		cb(fu.res)
+	}
+}
+
+// Resolved reports whether the future has completed.
+func (fu *Future) Resolved() bool { return fu.resolved }
+
+// IssueErr reports a synchronous issue failure: the call resolved before
+// any message went out (unknown destination, unresolvable symbol,
+// torn-down receiver). Delivery-time errors of an in-flight call are not
+// issue errors; read them from the resolved Result.
+func (fu *Future) IssueErr() error {
+	if fu.resolved && fu.res.N == 0 {
+		return fu.res.Err
+	}
+	return nil
+}
+
+// Result returns the aggregate outcome; ok is false while unresolved.
+func (fu *Future) Result() (res Result, ok bool) { return fu.res, fu.resolved }
+
+// Done registers cb to run when the future resolves (immediately if it
+// already has). It returns the future for chaining.
+func (fu *Future) Done(cb func(Result)) *Future {
+	if cb == nil {
+		return fu
+	}
+	if fu.resolved {
+		cb(fu.res)
+		return fu
+	}
+	fu.cbs = append(fu.cbs, cb)
+	return fu
+}
+
+// Await single-steps the simulation engine until the future resolves and
+// returns the aggregate result. It is deterministic: equal seeds replay
+// equal outcomes. If the simulation goes quiescent first (a lost credit,
+// a stopped receiver), Await reports it as an error instead of spinning.
+func (fu *Future) Await() (Result, error) {
+	for !fu.resolved {
+		if !fu.eng.Step() {
+			return fu.res, fmt.Errorf("tc: await: simulation quiescent with future unresolved (%d/%d messages)",
+				fu.res.N, fu.expect)
+		}
+	}
+	return fu.res, fu.res.Err
+}

@@ -1,0 +1,195 @@
+package tc
+
+import (
+	"fmt"
+
+	"twochains/internal/core"
+	"twochains/internal/cpusim"
+	"twochains/internal/linker"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+)
+
+// System is N simulated Two-Chains processes on one fabric backend. It
+// subsumes the former Cluster/Mesh split: a cluster is a 2-node System.
+type System struct {
+	mesh *core.Mesh
+}
+
+// SystemOpt adjusts the deployment template before the system is built.
+type SystemOpt func(*core.MeshConfig)
+
+// WithShards partitions the nodes across fabric shards (contiguous
+// blocks; cross-shard traffic serializes through shared spine uplinks on
+// backends that model topology).
+func WithShards(n int) SystemOpt {
+	return func(c *core.MeshConfig) { c.Shards = n }
+}
+
+// WithBackend selects the fabric transport by registered name
+// ("simnet" is the default; "ideal" is the contention-free reference).
+func WithBackend(name string) SystemOpt {
+	return func(c *core.MeshConfig) { c.Cluster.Backend = name }
+}
+
+// WithSeed seeds both the fabric and the per-node stochastic models.
+func WithSeed(seed uint64) SystemOpt {
+	return func(c *core.MeshConfig) {
+		c.Cluster.Seed = seed
+		c.Node.Seed = seed
+	}
+}
+
+// WithTiming toggles the cache/CPU cost model (functional tests turn it
+// off for speed).
+func WithTiming(on bool) SystemOpt {
+	return func(c *core.MeshConfig) { c.Node.Timing = on }
+}
+
+// WithOrdered selects the fabric write-order guarantee.
+func WithOrdered(on bool) SystemOpt {
+	return func(c *core.MeshConfig) { c.Cluster.Ordered = on }
+}
+
+// WithGeometry sets the per-channel mailbox shape.
+func WithGeometry(g mailbox.Geometry) SystemOpt {
+	return func(c *core.MeshConfig) { c.Geometry = g }
+}
+
+// WithCredits toggles bank-flag flow control on every channel.
+func WithCredits(on bool) SystemOpt {
+	return func(c *core.MeshConfig) { c.Credits = on }
+}
+
+// WithWaitMode selects the wait-episode cycle accounting on both sides.
+func WithWaitMode(m cpusim.WaitMode) SystemOpt {
+	return func(c *core.MeshConfig) { c.WaitMode = m }
+}
+
+// WithNodeConfig replaces the node template wholesale.
+func WithNodeConfig(nc core.NodeConfig) SystemOpt {
+	return func(c *core.MeshConfig) { c.Node = nc }
+}
+
+// WithPerNode derives node i's configuration from the template —
+// heterogeneous deployments without giving up the single default.
+func WithPerNode(fn func(i int, cfg core.NodeConfig) core.NodeConfig) SystemOpt {
+	return func(c *core.MeshConfig) { c.PerNode = fn }
+}
+
+// WithReceiverTweak post-processes every per-channel receiver
+// configuration (ablations: variable frames, GP insertion, page perms).
+func WithReceiverTweak(fn func(mailbox.ReceiverConfig) mailbox.ReceiverConfig) SystemOpt {
+	return func(c *core.MeshConfig) { c.ReceiverTweak = fn }
+}
+
+// WithChannelOptions sets the sender-options template applied to every
+// channel (separate-signal protocol, auto-switch threshold, ...).
+func WithChannelOptions(co core.ChannelOptions) SystemOpt {
+	return func(c *core.MeshConfig) { c.Channel = co }
+}
+
+// WithConfig is the catch-all escape hatch for fields without a
+// dedicated option.
+func WithConfig(fn func(*core.MeshConfig)) SystemOpt {
+	return func(c *core.MeshConfig) { fn(c) }
+}
+
+// NewSystem builds an n-node system from the paper-testbed defaults plus
+// the given options.
+func NewSystem(n int, opts ...SystemOpt) (*System, error) {
+	cfg := core.DefaultMeshConfig(n)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := core.NewMesh(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{mesh: m}, nil
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.mesh.Nodes() }
+
+// Node returns node i — the escape hatch to the process-level surface
+// (address space, namespace, OnExecuted hook, stdout).
+func (s *System) Node(i int) *core.Node { return s.mesh.Node(i) }
+
+// ShardOf reports the fabric shard node i lives in.
+func (s *System) ShardOf(i int) int { return s.mesh.ShardOf(i) }
+
+// Engine is the shared discrete-event clock.
+func (s *System) Engine() *sim.Engine { return s.mesh.Cluster.Eng }
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.mesh.Cluster.Eng.Now() }
+
+// RNG is the system's deterministic random stream; all workload
+// randomness must come from it (or a Split) for replayable runs.
+func (s *System) RNG() *sim.RNG { return s.mesh.RNG() }
+
+// Run processes events until the system is quiescent.
+func (s *System) Run() { s.mesh.Run() }
+
+// RunFor processes events for d of simulated time.
+func (s *System) RunFor(d sim.Duration) { s.mesh.Cluster.RunFor(d) }
+
+// InstallPackage installs pkg on every node. Installing the same package
+// twice is an error.
+func (s *System) InstallPackage(pkg *core.Package) error {
+	return s.mesh.InstallPackage(pkg)
+}
+
+// InstallRied ships a standalone RIED image to node i and loads it,
+// optionally replacing existing name bindings — the remote-linking
+// dynamic update path. Call RefreshNames(i) afterwards so senders pick up
+// the new namespace.
+func (s *System) InstallRied(i int, img *linker.Image, replace bool) (*linker.Loaded, error) {
+	return s.mesh.InstallRied(i, img, replace)
+}
+
+// RefreshNames re-runs the namespace exchange on every channel into node
+// i; Func handles re-bind automatically on their next Call.
+func (s *System) RefreshNames(i int) { s.mesh.RefreshNames(i) }
+
+// Teardown takes node i out of service: its mailbox regions stop being
+// polled and subsequent Calls addressed to it fail fast.
+func (s *System) Teardown(i int) error {
+	if i < 0 || i >= s.mesh.Nodes() {
+		return fmt.Errorf("tc: teardown: node %d out of range (%d nodes)", i, s.mesh.Nodes())
+	}
+	s.mesh.Node(i).Teardown()
+	return nil
+}
+
+// Channel returns the src->dst channel, creating it (and its mailbox
+// region on dst) on first use — the lower-level surface for delivery-only
+// frames and custom hooks.
+func (s *System) Channel(src, dst int) (*core.Channel, error) {
+	return s.mesh.Channel(src, dst)
+}
+
+// SendData sends a delivery-only frame (the without-execution mode of the
+// overhead experiments) and returns its future.
+func (s *System) SendData(src, dst int, usr []byte) *Future {
+	fu := newFuture(s.Engine(), 1)
+	ch, err := s.mesh.Channel(src, dst)
+	if err != nil {
+		fu.fail(err)
+		return fu
+	}
+	if s.mesh.Node(dst).Down() {
+		fu.fail(fmt.Errorf("tc: %d->%d: destination node torn down", src, dst))
+		return fu
+	}
+	ch.SendData(usr, fu.complete)
+	return fu
+}
+
+// Stats sums sender, receiver, and jam-cache counters over the system.
+func (s *System) Stats() core.MeshStats { return s.mesh.Stats() }
+
+// Mesh exposes the underlying core deployment for callers that need the
+// full internal surface (the perf harness does).
+func (s *System) Mesh() *core.Mesh { return s.mesh }

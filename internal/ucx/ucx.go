@@ -21,29 +21,31 @@ package ucx
 import (
 	"fmt"
 
+	"twochains/internal/fabric"
 	"twochains/internal/mem"
 	"twochains/internal/memsim"
 	"twochains/internal/model"
 	"twochains/internal/sim"
-	"twochains/internal/simnet"
 )
 
 // DefaultWindow is the standard path's outstanding-operation limit.
 const DefaultWindow = 16
 
-// Context owns the fabric connection for one process.
+// Context owns the fabric connection for one process. The transport is an
+// abstract backend (fabric.Transport); "simnet" models the paper testbed,
+// and alternate backends slot in without this package changing.
 type Context struct {
-	Fabric *simnet.Fabric
+	Fabric fabric.Transport
 }
 
-// NewContext wraps a fabric.
-func NewContext(f *simnet.Fabric) *Context { return &Context{Fabric: f} }
+// NewContext wraps a fabric transport.
+func NewContext(f fabric.Transport) *Context { return &Context{Fabric: f} }
 
 // Worker is a progress engine bound to one node: its NIC plus the CPU time
 // the communication library consumes on that node.
 type Worker struct {
 	Ctx  *Context
-	NIC  *simnet.NIC
+	NIC  fabric.Port
 	AS   *mem.AddressSpace
 	Hier *memsim.Hierarchy
 	// CPU serializes the library's software overheads on this node.
@@ -54,7 +56,7 @@ type Worker struct {
 func (c *Context) NewWorker(as *mem.AddressSpace, hier *memsim.Hierarchy) *Worker {
 	return &Worker{
 		Ctx:  c,
-		NIC:  c.Fabric.AttachNIC(as, hier),
+		NIC:  c.Fabric.Attach(as, hier),
 		AS:   as,
 		Hier: hier,
 		CPU:  sim.NewResource("ucx-cpu"),
@@ -65,11 +67,11 @@ func (c *Context) NewWorker(as *mem.AddressSpace, hier *memsim.Hierarchy) *Worke
 type Memory struct {
 	Base uint64
 	Size int
-	Key  simnet.RKey
+	Key  fabric.RKey
 }
 
 // RegisterMemory pins a region for remote access.
-func (w *Worker) RegisterMemory(base uint64, size int, access simnet.Access) (*Memory, error) {
+func (w *Worker) RegisterMemory(base uint64, size int, access fabric.Access) (*Memory, error) {
 	key, err := w.NIC.RegisterMemory(base, size, access)
 	if err != nil {
 		return nil, err
@@ -93,7 +95,7 @@ func (w *Worker) Connect(peer *Worker) *Endpoint {
 	return &Endpoint{Local: w, Remote: peer, window: DefaultWindow}
 }
 
-func (ep *Endpoint) engine() *sim.Engine { return ep.Local.Ctx.Fabric.Engine }
+func (ep *Endpoint) engine() *sim.Engine { return ep.Local.Ctx.Fabric.Engine() }
 
 // Completed returns the number of standard-path operations completed.
 func (ep *Endpoint) Completed() uint64 { return ep.completed }
@@ -102,7 +104,7 @@ func (ep *Endpoint) Completed() uint64 { return ep.completed }
 // posting overhead, protocol tier selection (including the rendezvous
 // handshake for large messages), a flow-control window, and completion
 // processing. onComplete fires when the operation completes at the sender.
-func (ep *Endpoint) Put(srcVA, dstVA uint64, size int, key simnet.RKey, onComplete func(error, sim.Time)) {
+func (ep *Endpoint) Put(srcVA, dstVA uint64, size int, key fabric.RKey, onComplete func(error, sim.Time)) {
 	issue := func() {
 		eng := ep.engine()
 		tier := model.TierFor(size)
@@ -114,7 +116,7 @@ func (ep *Endpoint) Put(srcVA, dstVA uint64, size int, key simnet.RKey, onComple
 		postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
 
 		fire := func() {
-			ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res simnet.PutResult) {
+			ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res fabric.PutResult) {
 				// Completion detection costs CPU on the sender.
 				compDone := ep.Local.CPU.Claim(eng.Now(), model.UcxCompOverhead)
 				eng.At(compDone, func() {
@@ -159,13 +161,13 @@ func (ep *Endpoint) release() {
 // frames — but the handshakes of different mailbox slots overlap, so
 // pipelined streams remain wire-bound. onDelivered fires at the
 // receiver-side delivery time.
-func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key simnet.RKey, onDelivered func(error, sim.Time)) {
+func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key fabric.RKey, onDelivered func(error, sim.Time)) {
 	eng := ep.engine()
 	tier := model.TierFor(size)
 	swCost := model.AmPackOverhead + model.AmPostOverhead + tier.Overhead + model.DoorbellLat
 	postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
 	fire := func() {
-		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res simnet.PutResult) {
+		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res fabric.PutResult) {
 			if onDelivered != nil {
 				onDelivered(res.Err, res.Delivered)
 			}
@@ -185,7 +187,7 @@ func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key simnet.RKey, onDe
 // fence follows, and the 8-byte signal goes in a separate put that cannot
 // be delivered ahead of the body. The three steps issue atomically with
 // respect to simulated time so the fence covers exactly the body put.
-func (ep *Endpoint) PutThinFenced(srcVA, dstVA uint64, bodyLen, sigLen int, key simnet.RKey, onDelivered func(error, sim.Time)) {
+func (ep *Endpoint) PutThinFenced(srcVA, dstVA uint64, bodyLen, sigLen int, key fabric.RKey, onDelivered func(error, sim.Time)) {
 	eng := ep.engine()
 	tier := model.TierFor(bodyLen)
 	swCost := model.AmPackOverhead + 2*model.AmPostOverhead + tier.Overhead +
@@ -197,12 +199,12 @@ func (ep *Endpoint) PutThinFenced(srcVA, dstVA uint64, bodyLen, sigLen int, key 
 	}
 	eng.At(postDone, func() {
 		var bodyErr error
-		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, bodyLen, key, func(res simnet.PutResult) {
+		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, bodyLen, key, func(res fabric.PutResult) {
 			bodyErr = res.Err
 		})
 		ep.Local.NIC.Fence(ep.Remote.NIC)
 		ep.Local.NIC.Put(ep.Remote.NIC, srcVA+uint64(bodyLen), dstVA+uint64(bodyLen), sigLen, key,
-			func(res simnet.PutResult) {
+			func(res fabric.PutResult) {
 				if onDelivered != nil {
 					err := res.Err
 					if err == nil {
@@ -251,6 +253,6 @@ func (ep *Endpoint) Flush(cb func()) {
 
 // String describes the endpoint for diagnostics.
 func (ep *Endpoint) String() string {
-	return fmt.Sprintf("ep(nic%d->nic%d, window %d, inflight %d)",
-		ep.Local.NIC.ID, ep.Remote.NIC.ID, ep.window, ep.inflight)
+	return fmt.Sprintf("ep(%s->%s, window %d, inflight %d)",
+		ep.Local.NIC.Label(), ep.Remote.NIC.Label(), ep.window, ep.inflight)
 }

@@ -1,7 +1,8 @@
-// Package workload is the mesh scenario driver: it provisions a sharded
-// many-node core.Mesh, generates a deterministic traffic plan for one of
-// several patterns, drives batched frame injection through it, and reports
-// simulated injections/sec plus a run digest.
+// Package workload is the scenario driver: it provisions a sharded
+// many-node tc.System, generates a deterministic traffic plan for one of
+// several patterns, drives batched frame injection through pre-resolved
+// tc.Func handles (one handle per sender and element, bound once per
+// destination), and reports simulated injections/sec plus a run digest.
 //
 // Patterns:
 //
@@ -9,9 +10,11 @@
 //   - AllToAll: every node bursts to every other node — the densest
 //     channel mesh and the heaviest spine-uplink load.
 //   - Hotspot: skewed traffic where most bursts target one hot node, with
-//     a ried hot-swap performed on the hot node while traffic is in
-//     flight (the paper's remote-linking dynamic-update path, exercised
-//     under load).
+//     a RIED hot-swap — a RIED is a relocatable interface distribution,
+//     the shared library a process loads to set up interfaces and data
+//     objects — performed on the hot node while traffic is in flight
+//     (the paper's remote-linking dynamic-update path, exercised under
+//     load).
 //
 // Each sender self-clocks: burst k+1 is issued from the completion of
 // burst k, so the fabric runs loaded but bounded. All randomness (element
@@ -26,6 +29,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tc"
 )
 
 // Pattern names a traffic shape.
@@ -68,8 +72,10 @@ type Scenario struct {
 	// HotSkew is the probability a hotspot burst targets the hot node
 	// (0 = default 0.8). Ignored by other patterns.
 	HotSkew float64
-	// DisableSwap turns off the hotspot mid-run ried hot-swap.
+	// DisableSwap turns off the hotspot mid-run RIED hot-swap.
 	DisableSwap bool
+	// Backend selects the fabric transport ("" = default "simnet").
+	Backend string
 
 	// OnExecuted observes every handler execution (node index, return
 	// value, error) — the hook equivalence tests use to compare injected
@@ -121,7 +127,7 @@ type Result struct {
 	Digest     uint64       // order-insensitive fold of per-node digests
 	PerNode    []NodeResult
 	Mesh       core.MeshStats
-	Swapped    bool // hotspot: the mid-run ried hot-swap fired
+	Swapped    bool // hotspot: the mid-run RIED hot-swap fired
 	HotNode    int  // hotspot: the skew target (-1 otherwise)
 }
 
@@ -284,26 +290,27 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 
-	mcfg := core.DefaultMeshConfig(sc.Nodes)
-	if sc.Shards > 0 {
-		mcfg.Shards = sc.Shards
+	opts := []tc.SystemOpt{
+		tc.WithSeed(sc.Seed),
+		tc.WithTiming(sc.Timing),
+		tc.WithBackend(sc.Backend),
+		tc.WithConfig(func(c *core.MeshConfig) { c.Geometry.FrameSize = frame }),
 	}
-	mcfg.Cluster.Seed = sc.Seed
-	mcfg.Node.Seed = sc.Seed
-	mcfg.Node.Timing = sc.Timing
-	mcfg.Geometry.FrameSize = frame
-	mesh, err := core.NewMesh(mcfg)
+	if sc.Shards > 0 {
+		opts = append(opts, tc.WithShards(sc.Shards))
+	}
+	sys, err := tc.NewSystem(sc.Nodes, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if err := mesh.InstallPackage(pkg); err != nil {
+	if err := sys.InstallPackage(pkg); err != nil {
 		return nil, err
 	}
 
-	p := buildPlan(sc, mix, wsum, mesh.RNG())
+	p := buildPlan(sc, mix, wsum, sys.RNG())
 	res := &Result{
 		Scenario: sc,
-		Shards:   mesh.Cfg.Shards, // post-clamp value the mesh actually used
+		Shards:   sys.Mesh().Cfg.Shards, // post-clamp value actually used
 		PerNode:  make([]NodeResult, sc.Nodes),
 		HotNode:  p.hotNode,
 	}
@@ -312,10 +319,11 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	// Hot-swap trigger: once the hot node has executed half its planned
-	// traffic, install a fresh copy of the server ried (rebinding
+	// traffic, install a fresh copy of the server RIED (rebinding
 	// tc_results/tc_table/tc_heap to new state) and re-run the namespace
 	// exchange on every channel into it — the remote-linking dynamic
-	// update, performed while bursts are still in flight.
+	// update, performed while bursts are still in flight. In-flight Func
+	// handles re-bind automatically on their next call.
 	swapAt := -1
 	var swapImg = func() error { return nil }
 	if sc.Pattern == Hotspot && !sc.DisableSwap && p.hotNode >= 0 {
@@ -331,11 +339,11 @@ func Run(sc Scenario) (*Result, error) {
 				if e.Kind != core.ElemRied {
 					continue
 				}
-				if _, err := mesh.Node(p.hotNode).InstallRied(e.Ried, true); err != nil {
+				if _, err := sys.InstallRied(p.hotNode, e.Ried, true); err != nil {
 					return err
 				}
 			}
-			mesh.RefreshNames(p.hotNode)
+			sys.RefreshNames(p.hotNode)
 			return nil
 		}
 	}
@@ -347,7 +355,7 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	for i := 0; i < sc.Nodes; i++ {
 		node := i
-		mesh.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+		sys.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
 			nr := &res.PerNode[node]
 			if err != nil {
 				nr.Errors++
@@ -368,8 +376,25 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	// Self-clocked issue: each sender fires its next burst when the last
-	// message of the previous one completes delivery.
+	// message of the previous one completes delivery. Handles are
+	// resolved once per sender and element and reused for every burst —
+	// the bind-once/call-many idiom.
 	var issueErr error
+	fns := make([]map[string]*tc.Func, sc.Nodes)
+	fnFor := func(src int, elem string) (*tc.Func, error) {
+		if fns[src] == nil {
+			fns[src] = map[string]*tc.Func{}
+		}
+		if f, ok := fns[src][elem]; ok {
+			return f, nil
+		}
+		f, err := sys.Func(src, "tcbench", elem)
+		if err != nil {
+			return nil, err
+		}
+		fns[src][elem] = f
+		return f, nil
+	}
 	for src := 0; src < sc.Nodes; src++ {
 		queue := p.bursts[src]
 		if len(queue) == 0 {
@@ -384,30 +409,27 @@ func Run(sc Scenario) (*Result, error) {
 			}
 			b := queue[next]
 			next++
-			ch, err := mesh.Channel(s, b.dst)
+			fn, err := fnFor(s, b.mix.Elem)
 			if err != nil {
 				issueErr = err
 				return
 			}
-			pending := len(b.args)
-			done := func(r core.Result) {
-				pending--
-				if pending == 0 {
-					fire()
-				}
-			}
+			callOpts := []tc.CallOpt{tc.Burst(b.args), tc.Payload(payload)}
 			if b.local {
-				err = ch.CallLocalBurst("tcbench", b.mix.Elem, b.args, payload, done)
-			} else {
-				err = ch.InjectBurst("tcbench", b.mix.Elem, b.args, payload, done)
+				callOpts = append(callOpts, tc.Local())
 			}
-			if err != nil {
+			fu := fn.Call(b.dst, b.args[0], callOpts...)
+			if err := fu.IssueErr(); err != nil {
+				// Synchronous issue failure (bad element, torn-down
+				// destination): stop the sender, like the legacy path.
 				issueErr = err
+				return
 			}
+			fu.Done(func(tc.Result) { fire() })
 		}
-		mesh.Cluster.Eng.After(0, fire)
+		sys.Engine().After(0, fire)
 	}
-	mesh.Run()
+	sys.Run()
 	if issueErr != nil {
 		return nil, issueErr
 	}
@@ -419,11 +441,11 @@ func Run(sc Scenario) (*Result, error) {
 		res.Injections += nr.Executed
 		res.Digest += nr.Digest // order-insensitive across nodes
 	}
-	res.SimTime = sim.Duration(mesh.Cluster.Eng.Now())
+	res.SimTime = sim.Duration(sys.Now())
 	if secs := res.SimTime.Seconds(); secs > 0 {
 		res.RatePerSec = float64(res.Injections) / secs
 	}
-	res.Mesh = mesh.Stats()
+	res.Mesh = sys.Stats()
 
 	var errSum int
 	for _, nr := range res.PerNode {
