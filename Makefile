@@ -1,11 +1,19 @@
 # Two-Chains build/test entry points. `make check` is the tier-1 gate CI
 # runs: formatting, vet, build, race tests, and benchmark smoke passes
-# (mesh workloads plus the handle-vs-string invocation pair).
+# (mesh workloads plus the handle-vs-string invocation pair, with
+# -benchmem so allocation regressions surface in CI logs).
+#
+# `make bench-json` regenerates BENCH_PR3.json — the machine-readable
+# perf trajectory point (ns/op, allocs/op, simulated injections/sec,
+# speedup vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json).
+# `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
+# diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
+# `go tool pprof`).
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test bench-smoke perf
+.PHONY: check fmt-check vet build test bench-smoke bench-json profile perf
 
 check: fmt-check vet build test bench-smoke
 
@@ -25,8 +33,20 @@ test:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -run xxx -bench BenchmarkMesh -benchtime 1x .
-	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchtime 100x .
+	$(GO) test -run xxx -bench BenchmarkMesh -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
+
+bench-json:
+	@{ $(GO) test -run xxx -bench 'BenchmarkMesh' -benchmem -benchtime 10x . && \
+	   $(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject|BenchmarkFramePack' -benchmem -benchtime 200000x . && \
+	   $(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim; } \
+	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
+
+profile: vet
+	$(GO) test -run xxx -bench BenchmarkMeshAllToAll -benchtime 20x \
+		-cpuprofile mesh_cpu.prof -memprofile mesh_mem.prof .
+	@echo "profiles: mesh_cpu.prof mesh_mem.prof (go tool pprof -top mesh_cpu.prof)"
 
 perf:
 	$(GO) run ./cmd/tcperf -e mesh

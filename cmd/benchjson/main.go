@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable benchmark trajectory file that seeds the repo's perf
+// history (BENCH_PR3.json and successors).
+//
+// It reads benchmark output on stdin, parses every benchmark line into
+// {ns/op, bytes/op, allocs/op, custom metrics}, optionally merges a
+// recorded baseline file, and emits one JSON document with a
+// speedup-vs-baseline section so regressions (or claimed wins) are
+// diffable in review:
+//
+//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson \
+//	    -baseline bench/BASELINE_PR3.json -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result.
+type Entry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds the custom b.ReportMetric values by unit
+	// (sim_inj_per_sec, msgs, sim_us, MB/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted document shape.
+type File struct {
+	// Note describes how to regenerate the numbers.
+	Note string `json:"note"`
+	// Baseline is the pre-change recording this run is compared against.
+	Baseline map[string]*Entry `json:"baseline,omitempty"`
+	// Current is this run.
+	Current map[string]*Entry `json:"current"`
+	// SpeedupNsPerOp is baseline ns/op divided by current ns/op for every
+	// benchmark present in both sections: >1 is faster.
+	SpeedupNsPerOp map[string]float64 `json:"speedup_ns_per_op,omitempty"`
+}
+
+func parse(r *bufio.Scanner) (map[string]*Entry, error) {
+	out := map[string]*Entry{}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -P (GOMAXPROCS) suffix go appends for parallel runs.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := &Entry{}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		out[name] = e
+	}
+	return out, r.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "recorded baseline JSON (File or bare name->Entry map)")
+	outPath := flag.String("o", "", "output path (default stdout)")
+	note := flag.String("note", "regenerate with `make bench-json`", "provenance note")
+	flag.Parse()
+
+	cur, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	f := &File{Note: *note, Current: cur}
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Accept either a full File (use its Current) or a bare map.
+		var asFile File
+		if err := json.Unmarshal(raw, &asFile); err == nil && len(asFile.Current) > 0 {
+			f.Baseline = asFile.Current
+		} else {
+			var m map[string]*Entry
+			if err := json.Unmarshal(raw, &m); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baselinePath, err)
+				os.Exit(1)
+			}
+			f.Baseline = m
+		}
+		f.SpeedupNsPerOp = map[string]float64{}
+		for name, b := range f.Baseline {
+			if c, ok := cur[name]; ok && c.NsPerOp > 0 && b.NsPerOp > 0 {
+				f.SpeedupNsPerOp[name] = b.NsPerOp / c.NsPerOp
+			}
+		}
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -35,6 +35,11 @@ type Bound struct {
 	// Local Function state: the receiver's package and element IDs.
 	localPkg, localElem uint8
 	localOK             bool
+
+	// burstScratch is the reusable frame-pointer scratch for batched
+	// sends: SendBatch never retains the slice (stalled messages are
+	// queued individually), so one per-handle buffer serves every burst.
+	burstScratch []*mailbox.Message
 }
 
 // Bind returns this channel's handle for the element, performing the
@@ -52,7 +57,7 @@ func (ch *Channel) Bind(pkgName, elemName string) (*Bound, error) {
 // the deprecated string methods use it so their per-call error semantics
 // (lazy, per-path) stay exactly as before.
 func (ch *Channel) Handle(pkgName, elemName string) *Bound {
-	key := pkgName + "/" + elemName
+	key := [2]string{pkgName, elemName}
 	if b, ok := ch.bounds[key]; ok {
 		return b
 	}
@@ -108,34 +113,124 @@ func (b *Bound) checkUp() error {
 	return nil
 }
 
-// injectedMessage builds the wire message for the current prepared image.
-func (b *Bound) injectedMessage(args [2]uint64, usr []byte) *mailbox.Message {
+// fillInjected writes the wire message for the current prepared image
+// into a pooled frame.
+func (b *Bound) fillInjected(m *mailbox.Message, args [2]uint64, usr []byte) {
 	pj := b.pj
-	return &mailbox.Message{
-		Kind:        mailbox.KindInjected,
-		PkgID:       pj.pkgID,
-		ElemID:      pj.elemID,
-		JamImage:    pj.image,
-		GotTableLen: pj.gotLen,
-		TextLen:     pj.textLen,
-		EntryOff:    pj.entry,
-		Patches:     pj.patches,
-		Args:        args,
-		Usr:         usr,
-	}
+	m.Kind = mailbox.KindInjected
+	m.PkgID = pj.pkgID
+	m.ElemID = pj.elemID
+	m.JamImage = pj.image
+	m.GotTableLen = pj.gotLen
+	m.TextLen = pj.textLen
+	m.EntryOff = pj.entry
+	m.Patches = pj.patches
+	m.Args = args
+	m.Usr = usr
 }
 
-// Inject sends one Injected Function active message through the handle:
-// the pre-bound code travels in the frame and executes on arrival.
-func (b *Bound) Inject(args [2]uint64, usr []byte, done func(Result)) error {
+// fillLocal writes the Local Function wire message into a pooled frame.
+func (b *Bound) fillLocal(m *mailbox.Message, args [2]uint64, usr []byte) {
+	m.Kind = mailbox.KindLocal
+	m.PkgID = b.localPkg
+	m.ElemID = b.localElem
+	m.Args = args
+	m.Usr = usr
+}
+
+// burstMsgs returns the per-handle scratch sized for an n-message batch.
+func (b *Bound) burstMsgs(n int) []*mailbox.Message {
+	if cap(b.burstScratch) < n {
+		b.burstScratch = make([]*mailbox.Message, n)
+	}
+	return b.burstScratch[:n]
+}
+
+// The *Info quartet below is the allocation-free spine of the handle: it
+// speaks the mailbox's native SendInfo callback (one pooled frame per
+// message, released by the sender after packing) and is what tc.Func
+// drives with its prebound future callbacks. The Result-typed methods
+// wrap it for callers that want the higher-level Result.
+
+// InjectInfo sends one Injected Function active message, reporting
+// completion through the mailbox-level SendInfo callback.
+func (b *Bound) InjectInfo(args [2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
 	if err := b.checkUp(); err != nil {
 		return err
 	}
 	if err := b.ensureInject(); err != nil {
 		return err
 	}
-	b.ch.Sender.Send(b.injectedMessage(args, usr), wrapDone(done, true))
+	m := mailbox.GetMessage()
+	b.fillInjected(m, args, usr)
+	b.ch.Sender.Send(m, done)
 	return nil
+}
+
+// InjectBurstInfo sends one Injected Function message per args entry as a
+// single batched operation (contiguous frame slots coalesce into single
+// puts); done, when non-nil, fires once per message.
+func (b *Bound) InjectBurstInfo(argsBatch [][2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureInject(); err != nil {
+		return err
+	}
+	msgs := b.burstMsgs(len(argsBatch))
+	for i, args := range argsBatch {
+		m := mailbox.GetMessage()
+		b.fillInjected(m, args, usr)
+		msgs[i] = m
+	}
+	b.ch.Sender.SendBatch(msgs, done)
+	return nil
+}
+
+// CallLocalInfo sends a Local Function active message, reporting
+// completion through the mailbox-level SendInfo callback.
+func (b *Bound) CallLocalInfo(args [2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureLocal(); err != nil {
+		return err
+	}
+	m := mailbox.GetMessage()
+	b.fillLocal(m, args, usr)
+	b.ch.Sender.Send(m, done)
+	return nil
+}
+
+// CallLocalBurstInfo sends one Local Function message per args entry as a
+// batch, coalescing contiguous frames like InjectBurstInfo.
+func (b *Bound) CallLocalBurstInfo(argsBatch [][2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
+	if len(argsBatch) == 0 {
+		return nil
+	}
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if err := b.ensureLocal(); err != nil {
+		return err
+	}
+	msgs := b.burstMsgs(len(argsBatch))
+	for i, args := range argsBatch {
+		m := mailbox.GetMessage()
+		b.fillLocal(m, args, usr)
+		msgs[i] = m
+	}
+	b.ch.Sender.SendBatch(msgs, done)
+	return nil
+}
+
+// Inject sends one Injected Function active message through the handle:
+// the pre-bound code travels in the frame and executes on arrival.
+func (b *Bound) Inject(args [2]uint64, usr []byte, done func(Result)) error {
+	return b.InjectInfo(args, usr, wrapDone(done, true))
 }
 
 // InjectBurst sends one Injected Function message per args entry as a
@@ -143,56 +238,20 @@ func (b *Bound) Inject(args [2]uint64, usr []byte, done func(Result)) error {
 // slots into single puts. usr is the shared payload; done, when non-nil,
 // fires once per message.
 func (b *Bound) InjectBurst(argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	if len(argsBatch) == 0 {
-		return nil
-	}
-	if err := b.checkUp(); err != nil {
-		return err
-	}
-	if err := b.ensureInject(); err != nil {
-		return err
-	}
-	msgs := make([]*mailbox.Message, len(argsBatch))
-	for i, args := range argsBatch {
-		msgs[i] = b.injectedMessage(args, usr)
-	}
-	b.ch.Sender.SendBatch(msgs, wrapDone(done, true))
-	return nil
+	return b.InjectBurstInfo(argsBatch, usr, wrapDone(done, true))
 }
 
 // CallLocal sends a Local Function active message through the handle:
 // only the pre-resolved IDs and payload travel; the receiver calls its
 // library copy of the function.
 func (b *Bound) CallLocal(args [2]uint64, usr []byte, done func(Result)) error {
-	if err := b.checkUp(); err != nil {
-		return err
-	}
-	if err := b.ensureLocal(); err != nil {
-		return err
-	}
-	msg := mailbox.PackLocal(b.localPkg, b.localElem, args, usr)
-	b.ch.Sender.Send(msg, wrapDone(done, false))
-	return nil
+	return b.CallLocalInfo(args, usr, wrapDone(done, false))
 }
 
 // CallLocalBurst sends one Local Function message per args entry as a
 // batch, coalescing contiguous frames like InjectBurst.
 func (b *Bound) CallLocalBurst(argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	if len(argsBatch) == 0 {
-		return nil
-	}
-	if err := b.checkUp(); err != nil {
-		return err
-	}
-	if err := b.ensureLocal(); err != nil {
-		return err
-	}
-	msgs := make([]*mailbox.Message, len(argsBatch))
-	for i, args := range argsBatch {
-		msgs[i] = mailbox.PackLocal(b.localPkg, b.localElem, args, usr)
-	}
-	b.ch.Sender.SendBatch(msgs, wrapDone(done, false))
-	return nil
+	return b.CallLocalBurstInfo(argsBatch, usr, wrapDone(done, false))
 }
 
 // InjectedWireLen reports the frame size an Inject with a payload of

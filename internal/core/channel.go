@@ -36,9 +36,11 @@ type Channel struct {
 	remoteFP    uint64
 
 	// bounds caches this channel's pre-resolved handles, one per element
-	// (see Bound); the deprecated string methods resolve through it.
-	bounds    map[string]*Bound
-	injectCnt map[string]int
+	// (see Bound); the deprecated string methods resolve through it. Keys
+	// are (pkg, elem) pairs, not built strings, so a cache hit performs no
+	// allocation.
+	bounds    map[[2]string]*Bound
+	injectCnt map[[2]string]int
 }
 
 // preparedJam is a jam with its extern GOT entries bound to receiver VAs.
@@ -97,8 +99,8 @@ func connectTo(src, dst *Node, recv *mailbox.Receiver, opts ChannelOptions, name
 		Recv:      recv,
 		Sender:    snd,
 		Opts:      opts,
-		bounds:    map[string]*Bound{},
-		injectCnt: map[string]int{},
+		bounds:    map[[2]string]*Bound{},
+		injectCnt: map[[2]string]int{},
 	}
 	if opts.Sender.Credits {
 		recv.SetCreditReturn(dst.Worker.Connect(src.Worker), snd.CreditVA, snd.CreditMem.Key)
@@ -150,7 +152,7 @@ type Result struct {
 // it many times; this wrapper re-resolves the handle cache per call.
 func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
 	if ch.Opts.AutoSwitchAfter > 0 {
-		key := pkgName + "/" + elemName
+		key := [2]string{pkgName, elemName}
 		ch.injectCnt[key]++
 		if ch.injectCnt[key] > ch.Opts.AutoSwitchAfter {
 			// Reoccurring function: switch to local invocation if the

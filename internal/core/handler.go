@@ -98,15 +98,16 @@ func (n *Node) runInjected(d *mailbox.Delivery) (sim.Duration, error) {
 		entryVA = codeVA + delta
 	}
 
-	code, err := n.AS.ReadBytesDMA(codeVA, d.TextLen)
+	code, err := n.AS.ViewDMA(codeVA, d.TextLen)
 	if err != nil {
 		return extra, err
 	}
-	region, err := n.VM.AddRegion(codeVA, code, 0)
-	if err != nil {
+	// The VM keeps the decoded body cached per frame slot: repeated
+	// deliveries of the same element re-execute the cached region after a
+	// byte compare instead of re-decoding.
+	if _, err := n.VM.EnsureJam(codeVA, code); err != nil {
 		return extra, fmt.Errorf("core: node %s: bad injected code: %w", n.Name, err)
 	}
-	defer n.VM.RemoveRegion(region)
 
 	ret, cost, err := n.VM.Call(entryVA, d.ArgsVA, d.UsrVA, uint64(d.UsrLen))
 	if n.OnExecuted != nil {

@@ -15,14 +15,16 @@ type JamCacheStats struct {
 	Hits  uint64
 }
 
-// jamCacheKey identifies a prepared jam: the element plus a fingerprint of
-// the receiver namespace it was bound against. Two channels whose
-// receivers expose identical namespaces (the common case in a mesh, where
-// every node installs the same packages in the same order) share one
-// prepared image.
+// jamCacheKey identifies a prepared jam: the element (by its integer
+// installed-package and element IDs, resolved before the cache is
+// consulted — no string building or string hashing on the lookup path)
+// plus a fingerprint of the receiver namespace it was bound against. Two
+// channels whose receivers expose identical namespaces (the common case
+// in a mesh, where every node installs the same packages in the same
+// order) share one prepared image.
 type jamCacheKey struct {
-	pkg, elem string
-	nsFP      uint64
+	pkgID, elemID uint8
+	nsFP          uint64
 }
 
 // jamCacheGenerations bounds the live namespace generations cached per
@@ -42,14 +44,14 @@ type jamCache struct {
 	entries map[jamCacheKey]*preparedJam
 	// gens tracks insertion order of fingerprints per element, oldest
 	// first, for generation eviction.
-	gens  map[[2]string][]jamCacheKey
+	gens  map[[2]uint8][]jamCacheKey
 	stats JamCacheStats
 }
 
 func newJamCache() *jamCache {
 	return &jamCache{
 		entries: map[jamCacheKey]*preparedJam{},
-		gens:    map[[2]string][]jamCacheKey{},
+		gens:    map[[2]uint8][]jamCacheKey{},
 	}
 }
 
@@ -84,31 +86,10 @@ func nsFingerprint(names map[string]uint64) uint64 {
 }
 
 // prepare returns the prepared image of the element bound against the
-// given receiver namespace, binding and caching it on first use.
+// given receiver namespace, binding and caching it on first use. The
+// element is resolved to its integer IDs first, so the cache lookup hashes
+// a small fixed-size key instead of building strings.
 func (c *jamCache) prepare(src *Node, pkgName, elemName, dstName string, names map[string]uint64, nsFP uint64) (*preparedJam, error) {
-	key := jamCacheKey{pkg: pkgName, elem: elemName, nsFP: nsFP}
-	if pj, ok := c.entries[key]; ok {
-		c.stats.Hits++
-		return pj, nil
-	}
-	pj, err := bindJam(src, pkgName, elemName, dstName, names)
-	if err != nil {
-		return nil, err
-	}
-	c.stats.Binds++
-	c.entries[key] = pj
-	elem := [2]string{pkgName, elemName}
-	c.gens[elem] = append(c.gens[elem], key)
-	if g := c.gens[elem]; len(g) > jamCacheGenerations {
-		delete(c.entries, g[0])
-		c.gens[elem] = g[1:]
-	}
-	return pj, nil
-}
-
-// bindJam binds a jam element's extern GOT entries against a receiver
-// namespace snapshot, producing the shippable image.
-func bindJam(src *Node, pkgName, elemName, dstName string, names map[string]uint64) (*preparedJam, error) {
 	inst, ok := src.Package(pkgName)
 	if !ok {
 		return nil, fmt.Errorf("core: %s: package %s not installed on sender", src.Name, pkgName)
@@ -117,6 +98,30 @@ func bindJam(src *Node, pkgName, elemName, dstName string, names map[string]uint
 	if !ok || elem.Kind != ElemJam {
 		return nil, fmt.Errorf("core: %s: no jam %q in package %s", src.Name, elemName, pkgName)
 	}
+	key := jamCacheKey{pkgID: inst.ID, elemID: elem.ID, nsFP: nsFP}
+	if pj, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		return pj, nil
+	}
+	pj, err := bindJam(src, inst, elem, dstName, names)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Binds++
+	c.entries[key] = pj
+	id := [2]uint8{inst.ID, elem.ID}
+	c.gens[id] = append(c.gens[id], key)
+	if g := c.gens[id]; len(g) > jamCacheGenerations {
+		delete(c.entries, g[0])
+		c.gens[id] = g[1:]
+	}
+	return pj, nil
+}
+
+// bindJam binds a jam element's extern GOT entries against a receiver
+// namespace snapshot, producing the shippable image.
+func bindJam(src *Node, inst *InstalledPackage, elem *Element, dstName string, names map[string]uint64) (*preparedJam, error) {
+	elemName := elem.Name
 	j := elem.Jam
 
 	pj := &preparedJam{

@@ -25,6 +25,8 @@ type Ideal struct {
 	eng   *sim.Engine
 	ports []*idealPort
 	rng   *sim.RNG
+	// bufs recycles in-flight put staging copies, like simnet's fabric.
+	bufs sim.BufPool
 }
 
 // NewIdeal constructs the ideal backend; it is registered as "ideal".
@@ -152,7 +154,7 @@ func (p *idealPort) Put(dst Port, srcVA, dstVA uint64, size int, key RKey, onCom
 		})
 		return
 	}
-	data, err := p.as.ReadBytesDMA(srcVA, size)
+	src, err := p.as.ViewDMA(srcVA, size)
 	if err != nil {
 		eng.After(0, func() {
 			if onComplete != nil {
@@ -161,12 +163,15 @@ func (p *idealPort) Put(dst Port, srcVA, dstVA uint64, size int, key RKey, onCom
 		})
 		return
 	}
+	data := p.fab.bufs.Get(size)
+	copy(data, src)
 	arrival := eng.Now().Add(model.PutBaseLat + model.WireTime(size))
 	if last := p.lastArrival[d.id]; arrival < last {
 		arrival = last
 	}
 	p.lastArrival[d.id] = arrival
 	if err := d.check(key, dstVA, size, RemoteWrite); err != nil {
+		p.fab.bufs.Put(data)
 		eng.At(arrival, func() {
 			if onComplete != nil {
 				onComplete(PutResult{Err: err})
@@ -178,6 +183,7 @@ func (p *idealPort) Put(dst Port, srcVA, dstVA uint64, size int, key RKey, onCom
 		if err := d.as.WriteBytesDMA(dstVA, data); err != nil {
 			panic(fmt.Sprintf("fabric: ideal: delivery DMA failed inside registration: %v", err))
 		}
+		p.fab.bufs.Put(data)
 		if d.hier != nil {
 			d.hier.NetworkWrite(dstVA, size)
 		}

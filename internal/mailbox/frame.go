@@ -21,6 +21,7 @@ package mailbox
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"twochains/internal/mem"
 )
@@ -51,10 +52,22 @@ type GotPatch struct {
 }
 
 // Message is one active message to be packed into a frame.
+//
+// Hot senders take messages from the shared pool with GetMessage and hand
+// them to Send/SendBatch, which return them to the pool once the frame
+// bytes have been packed into the staging region (or the send failed).
+// After that hand-off the caller must not touch the message again — it
+// may already be serving another send. Messages constructed directly
+// (&Message{...}, PackLocal, PackData) are never pooled and stay owned by
+// the caller.
 type Message struct {
 	Kind   uint8
 	PkgID  uint8
 	ElemID uint8
+	// pooled marks messages minted by GetMessage; release returns only
+	// those to the pool, so caller-constructed messages keep value
+	// semantics.
+	pooled bool
 	// JamImage is the prebuilt [GOT table][gp slot][body] image for
 	// injected messages; nil otherwise. Extern GOT entries already carry
 	// receiver VAs; local entries and the gp slot are patched at pack time
@@ -66,6 +79,28 @@ type Message struct {
 	Patches     []GotPatch
 	Args        [2]uint64
 	Usr         []byte
+}
+
+// msgPool recycles Message frames across sends. sync.Pool keeps it safe
+// for independent simulations running in parallel tests.
+var msgPool = sync.Pool{New: func() any { return &Message{pooled: true} }}
+
+// GetMessage returns a zeroed Message from the frame pool. Ownership
+// transfers to the Sender on Send/SendBatch, which releases it back to
+// the pool after packing; the caller must not retain it past that call.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// release returns a pooled message to the pool, dropping every payload
+// reference (JamImage, Patches, and Usr are caller-owned and merely
+// unreferenced, never recycled here). Non-pooled messages are left alone.
+func (m *Message) release() {
+	if !m.pooled {
+		return
+	}
+	*m = Message{pooled: true}
+	msgPool.Put(m)
 }
 
 // overhead returns the non-payload bytes of the message's frame.
@@ -175,14 +210,25 @@ func (d *Delivery) Arg(as *mem.AddressSpace, i int) (uint64, error) {
 
 // ParseFrame reads and validates a frame at frameVA.
 func ParseFrame(as *mem.AddressSpace, frameVA uint64, frameSize int) (*Delivery, error) {
-	hdr, err := as.ReadBytesDMA(frameVA, HeaderSize)
-	if err != nil {
+	d := &Delivery{}
+	if err := ParseFrameInto(d, as, frameVA, frameSize); err != nil {
 		return nil, err
 	}
-	if hdr[0] != FrameMagic {
-		return nil, fmt.Errorf("mailbox: bad frame magic %#x at 0x%x", hdr[0], frameVA)
+	return d, nil
+}
+
+// ParseFrameInto is ParseFrame into a caller-owned Delivery, the
+// allocation-free form receivers use with a per-region scratch record.
+// d is fully overwritten.
+func ParseFrameInto(d *Delivery, as *mem.AddressSpace, frameVA uint64, frameSize int) error {
+	hdr, err := as.ViewDMA(frameVA, HeaderSize)
+	if err != nil {
+		return err
 	}
-	d := &Delivery{
+	if hdr[0] != FrameMagic {
+		return fmt.Errorf("mailbox: bad frame magic %#x at 0x%x", hdr[0], frameVA)
+	}
+	*d = Delivery{
 		Kind:    hdr[1],
 		PkgID:   hdr[2],
 		ElemID:  hdr[3],
@@ -196,15 +242,15 @@ func ParseFrame(as *mem.AddressSpace, frameVA uint64, frameSize int) (*Delivery,
 	switch d.Kind {
 	case KindInjected:
 		overhead += PreSize + d.JamLen
-		pre, err := as.ReadBytesDMA(off, PreSize)
+		pre, err := as.ViewDMA(off, PreSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gotLen := int(binary.LittleEndian.Uint16(pre))
 		textLen := int(binary.LittleEndian.Uint16(pre[2:]))
 		entry := binary.LittleEndian.Uint32(pre[4:])
 		if gotLen+8 > d.JamLen {
-			return nil, fmt.Errorf("mailbox: frame at 0x%x: GOT table %d exceeds jam %d",
+			return fmt.Errorf("mailbox: frame at 0x%x: GOT table %d exceeds jam %d",
 				frameVA, gotLen, d.JamLen)
 		}
 		off += PreSize
@@ -214,34 +260,34 @@ func ParseFrame(as *mem.AddressSpace, frameVA uint64, frameSize int) (*Delivery,
 		d.BodyLen = d.JamLen - gotLen - 8
 		d.TextLen = textLen
 		if textLen > d.BodyLen || textLen%8 != 0 {
-			return nil, fmt.Errorf("mailbox: frame at 0x%x: text length %d invalid for body %d",
+			return fmt.Errorf("mailbox: frame at 0x%x: text length %d invalid for body %d",
 				frameVA, textLen, d.BodyLen)
 		}
 		if int(entry) >= textLen {
-			return nil, fmt.Errorf("mailbox: frame at 0x%x: entry %d outside text %d",
+			return fmt.Errorf("mailbox: frame at 0x%x: entry %d outside text %d",
 				frameVA, entry, textLen)
 		}
 		d.EntryVA = d.CodeVA + uint64(entry)
 		off += uint64(d.JamLen)
 	case KindLocal, KindData:
 		if d.JamLen != 0 {
-			return nil, fmt.Errorf("mailbox: non-injected frame carries jam bytes")
+			return fmt.Errorf("mailbox: non-injected frame carries jam bytes")
 		}
 	default:
-		return nil, fmt.Errorf("mailbox: unknown message kind %d", d.Kind)
+		return fmt.Errorf("mailbox: unknown message kind %d", d.Kind)
 	}
 	if overhead+d.UsrLen > frameSize {
-		return nil, fmt.Errorf("mailbox: frame at 0x%x overruns slot (jam %d, usr %d, slot %d)",
+		return fmt.Errorf("mailbox: frame at 0x%x overruns slot (jam %d, usr %d, slot %d)",
 			frameVA, d.JamLen, d.UsrLen, frameSize)
 	}
 	d.ArgsVA = off
 	d.UsrVA = off + ArgsSize
-	return d, nil
+	return nil
 }
 
 // SigPresent checks the signal trailer of the frame slot for seq.
 func SigPresent(as *mem.AddressSpace, frameVA uint64, frameSize int, seq uint32) bool {
-	raw, err := as.ReadBytesDMA(frameVA+uint64(frameSize)-8, 8)
+	raw, err := as.ViewDMA(frameVA+uint64(frameSize)-8, 8)
 	if err != nil {
 		return false
 	}

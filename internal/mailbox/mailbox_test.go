@@ -40,7 +40,10 @@ func newRig(t *testing.T, g Geometry, credits bool, handler Handler) *rig {
 	rcfg.Credits = credits
 	if handler == nil {
 		handler = func(d *Delivery) (sim.Duration, error) {
-			r.handled = append(r.handled, d)
+			// d is the receiver's scratch record, valid only during the
+			// callback: copy it for post-run assertions.
+			cp := *d
+			r.handled = append(r.handled, &cp)
 			usr, err := ReadUsr(r.b.AS, d)
 			if err != nil {
 				return 0, err

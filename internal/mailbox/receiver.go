@@ -104,9 +104,12 @@ type Receiver struct {
 	BaseVA uint64
 	Mem    *ucx.Memory
 
-	// OnProcessed observes completed messages (benchmark hook).
+	// OnProcessed observes completed messages (benchmark hook). The
+	// Delivery is the receiver's scratch record: valid only during the
+	// callback, overwritten by the next frame.
 	OnProcessed func(d *Delivery, completed sim.Time)
-	// OnError observes handler failures.
+	// OnError observes handler failures; d may be nil (parse failure) and
+	// has the same scratch lifetime as OnProcessed's.
 	OnError func(d *Delivery, err error)
 
 	creditEp  *ucx.Endpoint
@@ -120,6 +123,19 @@ type Receiver struct {
 	waitStart sim.Time
 	scratchVA uint64
 	stats     ReceiverStats
+
+	// One message is in service at a time (busy), so the receive loop
+	// runs on a single scratch Delivery and two prebound event closures
+	// instead of allocating per message. The Delivery handed to Handler,
+	// OnProcessed, and OnError is this scratch record: it is valid only
+	// for the duration of the callback and is overwritten by the next
+	// frame — observers that need it longer must copy it.
+	scratchD   Delivery
+	serviceVA  uint64
+	serviceFn  func() // prebound: service(serviceVA)
+	completeD  *Delivery
+	completeAt sim.Time
+	completeFn func() // prebound: complete(completeD, completeAt)
 }
 
 // NewReceiver allocates and registers the mailbox region on w's node and
@@ -149,6 +165,8 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 		eng:     w.Ctx.Fabric.Engine(),
 		nextSeq: 1,
 	}
+	r.serviceFn = func() { r.service(r.serviceVA) }
+	r.completeFn = func() { r.complete(r.completeD, r.completeAt) }
 	w.NIC.AddDeliveryHookRange(base, cfg.Geometry.RegionSize(),
 		func(va uint64, size int) { r.poke() })
 	return r, nil
@@ -206,7 +224,8 @@ func (r *Receiver) poke() {
 		wake = model.PollDetectLat
 	}
 	r.busy = true
-	r.eng.After(wake, func() { r.service(va) })
+	r.serviceVA = va
+	r.eng.After(wake, r.serviceFn)
 }
 
 // service parses, optionally patches, and executes the frame at va, then
@@ -229,8 +248,8 @@ func (r *Receiver) service(va uint64) {
 		}
 	}
 
-	d, err := ParseFrame(r.Worker.AS, va, r.Cfg.Geometry.FrameSize)
-	if err != nil {
+	d := &r.scratchD
+	if err := ParseFrameInto(d, r.Worker.AS, va, r.Cfg.Geometry.FrameSize); err != nil {
 		r.fail(nil, fmt.Errorf("mailbox: receiver: %w", err), serviceCost)
 		return
 	}
@@ -260,7 +279,8 @@ func (r *Receiver) service(va uint64) {
 	if r.Counter != nil {
 		r.Counter.Work(serviceCost)
 	}
-	r.eng.After(serviceCost, func() { r.complete(d, now.Add(serviceCost)) })
+	r.completeD, r.completeAt = d, now.Add(serviceCost)
+	r.eng.After(serviceCost, r.completeFn)
 }
 
 // fail records an error, still consuming the frame so the loop advances.
@@ -269,7 +289,8 @@ func (r *Receiver) fail(d *Delivery, err error, serviceCost sim.Duration) {
 	if r.OnError != nil {
 		r.OnError(d, err)
 	}
-	r.eng.After(serviceCost, func() { r.complete(d, r.eng.Now().Add(serviceCost)) })
+	r.completeD, r.completeAt = d, r.eng.Now().Add(serviceCost)
+	r.eng.After(serviceCost, r.completeFn)
 }
 
 func (r *Receiver) complete(d *Delivery, t sim.Time) {

@@ -2,6 +2,7 @@ package mailbox
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"twochains/internal/cpusim"
 	"twochains/internal/fabric"
@@ -62,13 +63,66 @@ type Sender struct {
 	staging uint64
 	seq     uint32
 	stalled []queuedSend
-	stallAt sim.Time
-	stats   SenderStats
+	// drainBuf is the spare stall queue drain ping-pongs with, so retrying
+	// stalled sends reuses two stable buffers instead of reallocating.
+	drainBuf []queuedSend
+	stallAt  sim.Time
+	stats    SenderStats
 }
 
 type queuedSend struct {
 	msg  *Message
 	done func(SendInfo)
+}
+
+// completion is the counted completion record for one thin put carrying
+// the frames [seq0, seq0+n): when the put delivers, it fans the single
+// fabric callback out into one SendInfo per frame. Records are pooled and
+// carry a prebound callback, so neither single sends nor batched runs
+// allocate per message.
+type completion struct {
+	seq0 uint32
+	n    int
+	done func(SendInfo)
+	cb   func(error, sim.Time) // prebound fire method, reused across pool generations
+}
+
+var completionPool sync.Pool
+
+func newCompletion() any {
+	c := &completion{}
+	c.cb = c.fire
+	return c
+}
+
+func init() { completionPool.New = newCompletion }
+
+// getCompletion returns nil when done is nil — the fabric accepts a nil
+// callback, and a no-observer put needs no completion record at all.
+func getCompletion(seq0 uint32, n int, done func(SendInfo)) *completion {
+	if done == nil {
+		return nil
+	}
+	c := completionPool.Get().(*completion)
+	c.seq0, c.n, c.done = seq0, n, done
+	return c
+}
+
+func (c *completion) fire(err error, t sim.Time) {
+	seq0, n, done := c.seq0, c.n, c.done
+	c.done = nil
+	completionPool.Put(c)
+	for i := 0; i < n; i++ {
+		done(SendInfo{Seq: seq0 + uint32(i), Err: err, Delivered: t})
+	}
+}
+
+// putCB returns the fabric-level callback for a completion, nil included.
+func (c *completion) putCB() func(error, sim.Time) {
+	if c == nil {
+		return nil
+	}
+	return c.cb
 }
 
 // NewSender builds a sender on w targeting the remote mailbox region
@@ -143,12 +197,14 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 		flagVA := s.CreditVA + uint64(bank*8)
 		flag, err := s.Worker.AS.ReadU64(flagVA)
 		if err != nil {
-			s.finish(done, SendInfo{Seq: seq, Err: err})
+			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			return
 		}
 		if flag == 0 {
 			// Bank still owned by the receiver: stall until the credit
-			// returns. Waiting costs cycles like any signal wait.
+			// returns. Waiting costs cycles like any signal wait. The
+			// message stays queued (and, if pooled, out of the pool)
+			// until it is finally packed or fails.
 			if len(s.stalled) == 0 {
 				s.stallAt = s.eng.Now()
 				s.stats.CreditStalls++
@@ -158,7 +214,7 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 		}
 		// Claim the bank.
 		if err := s.Worker.AS.WriteU64(flagVA, 0); err != nil {
-			s.finish(done, SendInfo{Seq: seq, Err: err})
+			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			return
 		}
 	}
@@ -170,11 +226,11 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 
 	buf, err := s.Worker.AS.View(stagingVA, frameSize)
 	if err != nil {
-		s.finish(done, SendInfo{Seq: seq, Err: err})
+		s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 		return
 	}
 	if err := msg.Pack(buf, frameSize, seq, dstVA); err != nil {
-		s.finish(done, SendInfo{Seq: seq, Err: err})
+		s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 		return
 	}
 	s.stats.Sent++
@@ -188,18 +244,18 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 			s.Counter.Work(patch)
 		}
 	}
+	// The frame bytes now live in staging: a pooled message is done.
+	msg.release()
 
-	report := func(err error, t sim.Time) {
-		s.finish(done, SendInfo{Seq: seq, Err: err, Delivered: t})
-	}
+	report := getCompletion(seq, 1, done)
 	if s.Cfg.SeparateSignal {
 		// Body first (without trailer), fence, then the signal put: the
 		// protocol for fabrics with no write-order guarantee.
 		bodyLen := frameSize - SigSize
-		s.Ep.PutThinFenced(stagingVA, dstVA, bodyLen, SigSize, s.RemoteKey, report)
+		s.Ep.PutThinFenced(stagingVA, dstVA, bodyLen, SigSize, s.RemoteKey, report.putCB())
 	} else {
 		// Ordered fabric, fixed frames: the entire message in one put.
-		s.Ep.PutThin(stagingVA, dstVA, frameSize, s.RemoteKey, report)
+		s.Ep.PutThin(stagingVA, dstVA, frameSize, s.RemoteKey, report.putCB())
 	}
 }
 
@@ -224,9 +280,14 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 	g := s.Cfg.Geometry
 	frameSize := g.FrameSize
 
+	// The contiguous run is tracked as (start offset, frame count, first
+	// seq): frames of one run occupy consecutive slots, so their sequence
+	// numbers are consecutive too and a single counted completion record
+	// fans the run's one fabric callback out per message — no per-message
+	// closures.
 	var runStart uint64 // staging offset of the current contiguous run
 	var runBytes int
-	var runDones []func(SendInfo)
+	var runSeq0 uint32 // seq of the run's first frame
 
 	flush := func() {
 		if runBytes == 0 {
@@ -237,18 +298,10 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 			s.stats.Batches++
 			s.stats.BatchedFrames += uint64(frames)
 		}
-		dones := runDones
-		runDones = nil
 		src, dst := s.staging+runStart, s.RemoteBase+runStart
 		n := runBytes
 		runBytes = 0
-		s.Ep.PutThin(src, dst, n, s.RemoteKey, func(err error, t sim.Time) {
-			for _, d := range dones {
-				if d != nil {
-					d(SendInfo{Err: err, Delivered: t})
-				}
-			}
-		})
+		s.Ep.PutThin(src, dst, n, s.RemoteKey, getCompletion(runSeq0, frames, done).putCB())
 	}
 
 	for i, msg := range msgs {
@@ -259,7 +312,7 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 			flagVA := s.CreditVA + uint64(bank*8)
 			flag, err := s.Worker.AS.ReadU64(flagVA)
 			if err != nil {
-				s.finish(done, SendInfo{Seq: seq, Err: err})
+				s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 				continue
 			}
 			if flag == 0 {
@@ -274,7 +327,7 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 				return
 			}
 			if err := s.Worker.AS.WriteU64(flagVA, 0); err != nil {
-				s.finish(done, SendInfo{Seq: seq, Err: err})
+				s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 				continue
 			}
 		}
@@ -284,16 +337,17 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 		}
 		if runBytes == 0 {
 			runStart = off
+			runSeq0 = seq
 		}
 		s.seq++
 
 		buf, err := s.Worker.AS.View(s.staging+off, frameSize)
 		if err != nil {
-			s.finish(done, SendInfo{Seq: seq, Err: err})
+			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			continue
 		}
 		if err := msg.Pack(buf, frameSize, seq, s.RemoteBase+off); err != nil {
-			s.finish(done, SendInfo{Seq: seq, Err: err})
+			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			continue
 		}
 		s.stats.Sent++
@@ -305,25 +359,29 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 				s.Counter.Work(patch)
 			}
 		}
-		seqCopy := seq
-		runDones = append(runDones, func(info SendInfo) {
-			if done != nil {
-				info.Seq = seqCopy
-				done(info)
-			}
-		})
+		msg.release()
 		runBytes += frameSize
 	}
 	flush()
 }
 
-func (s *Sender) finish(done func(SendInfo), info SendInfo) {
+// finish reports a failed (never-packed) send and releases a pooled
+// message back to the pool.
+func (s *Sender) finish(msg *Message, done func(SendInfo), info SendInfo) {
+	if msg != nil {
+		msg.release()
+	}
 	if done != nil {
 		done(info)
 	}
 }
 
-// drain retries stalled sends after a credit arrives.
+// drain retries stalled sends after a credit arrives. Stalled messages
+// must go out in their original FIFO order: the queue is detached before
+// retrying, and when a retry re-stalls (the run crossed into another
+// still-unavailable bank) the remainder re-queues behind it untouched.
+// The detached buffer is kept as the next drain's queue, so steady
+// stall/drain cycles ping-pong between two stable allocations.
 func (s *Sender) drain() {
 	if len(s.stalled) == 0 {
 		return
@@ -332,16 +390,21 @@ func (s *Sender) drain() {
 		s.Counter.Wait(s.Cfg.WaitMode, s.eng.Now().Sub(s.stallAt))
 	}
 	pending := s.stalled
-	s.stalled = nil
+	s.stalled = s.drainBuf[:0]
+	s.drainBuf = nil
 	for i, q := range pending {
 		s.trySend(q.msg, q.done)
 		if len(s.stalled) > 0 {
 			// trySend re-stalled on the next bank boundary; keep the
 			// remainder queued in order behind it.
 			s.stalled = append(s.stalled, pending[i+1:]...)
-			return
+			break
 		}
 	}
+	for i := range pending {
+		pending[i] = queuedSend{}
+	}
+	s.drainBuf = pending[:0]
 }
 
 // PackLocal is a convenience constructing a Local Function message.

@@ -93,39 +93,69 @@ type Region struct {
 }
 
 // AddressSpace is one simulated process image.
+//
+// The backing array is mapped lazily: capacity is the virtual size every
+// bounds check uses, while data holds only a prefix that grows (by
+// doubling) as the bump allocator and accessors touch higher addresses.
+// A node that allocates a few megabytes out of a 64 MB space never pays
+// for zeroing the other 60 — which used to dominate the wall-clock cost
+// of constructing many-node systems.
 type AddressSpace struct {
-	data    []byte
-	perms   []Perm // one per page
-	brk     uint64 // next free address (bump allocator)
-	regions []Region
+	data     []byte // mapped prefix of the space, grows on demand
+	capacity int    // virtual size in bytes
+	perms    []Perm // one per page of the full virtual size
+	brk      uint64 // next free address (bump allocator)
+	regions  []Region
 }
 
 // NewAddressSpace creates a space with the given capacity in bytes
-// (rounded up to a page).
+// (rounded up to a page). No backing memory is mapped yet.
 func NewAddressSpace(capacity int) *AddressSpace {
 	pages := (capacity + PageSize - 1) / PageSize
 	return &AddressSpace{
-		data:  make([]byte, pages*PageSize),
-		perms: make([]Perm, pages),
-		brk:   Base,
+		capacity: pages * PageSize,
+		perms:    make([]Perm, pages),
+		brk:      Base,
 	}
 }
 
 // Size returns the mapped capacity in bytes.
-func (as *AddressSpace) Size() int { return len(as.data) }
+func (as *AddressSpace) Size() int { return as.capacity }
 
 // End returns one past the highest usable VA.
-func (as *AddressSpace) End() uint64 { return Base + uint64(len(as.data)) }
+func (as *AddressSpace) End() uint64 { return Base + uint64(as.capacity) }
 
 func (as *AddressSpace) index(va uint64) (int, bool) {
 	if va < Base {
 		return 0, false
 	}
 	i := va - Base
-	if i >= uint64(len(as.data)) {
+	if i >= uint64(as.capacity) {
 		return 0, false
 	}
 	return int(i), true
+}
+
+// ensure grows the mapped prefix to cover at least n bytes. Fresh bytes
+// are zero, exactly as the eagerly mapped space was. Growth doubles, so
+// the copy work amortizes to O(high-water mark).
+func (as *AddressSpace) ensure(n int) {
+	if n <= len(as.data) {
+		return
+	}
+	c := cap(as.data)
+	if c < 1<<16 {
+		c = 1 << 16
+	}
+	for c < n {
+		c <<= 1
+	}
+	if c > as.capacity {
+		c = as.capacity
+	}
+	nd := make([]byte, c)
+	copy(nd, as.data)
+	as.data = nd
 }
 
 // Alloc reserves size bytes aligned to align with the given permissions and
@@ -140,9 +170,12 @@ func (as *AddressSpace) Alloc(name string, size, align int, perm Perm) (uint64, 
 	va := (as.brk + uint64(align) - 1) / uint64(align) * uint64(align)
 	if _, ok := as.index(va + uint64(size) - 1); !ok {
 		return 0, fmt.Errorf("mem: Alloc %q: out of address space (%d bytes requested, brk=0x%x, cap=%d)",
-			name, size, as.brk, len(as.data))
+			name, size, as.brk, as.capacity)
 	}
 	as.brk = va + uint64(size)
+	// Map the region eagerly so accessors (and Views handed out before the
+	// next Alloc) hit stable backing.
+	as.ensure(int(as.brk - Base))
 	as.setPerm(va, size, perm)
 	as.regions = append(as.regions, Region{Name: name, Addr: va, Size: size, Perm: perm})
 	return va, nil
@@ -240,19 +273,47 @@ func (as *AddressSpace) ReadBytes(va uint64, size int) ([]byte, error) {
 		return nil, err
 	}
 	i, _ := as.index(va)
+	as.ensure(i + size)
 	out := make([]byte, size)
 	copy(out, as.data[i:i+size])
 	return out, nil
 }
 
 // View returns a slice aliasing the underlying storage for [va, va+size).
-// Callers must treat it as ephemeral; it is used by the NIC DMA path and
-// the VM fetch path to avoid copying.
+// Callers must treat it as ephemeral — the next Alloc may remap the
+// backing; it is used by the NIC DMA path and the VM fetch path to avoid
+// copying.
 func (as *AddressSpace) View(va uint64, size int) ([]byte, error) {
 	if err := as.check(va, size, AccessRead); err != nil {
 		return nil, err
 	}
 	i, _ := as.index(va)
+	as.ensure(i + size)
+	return as.data[i : i+size : i+size], nil
+}
+
+// ViewMut returns a writable slice aliasing [va, va+size), checking the
+// page write permission. Ephemeral like View: not valid across an Alloc.
+func (as *AddressSpace) ViewMut(va uint64, size int) ([]byte, error) {
+	if err := as.check(va, size, AccessWrite); err != nil {
+		return nil, err
+	}
+	i, _ := as.index(va)
+	as.ensure(i + size)
+	return as.data[i : i+size : i+size], nil
+}
+
+// ViewDMA returns a slice aliasing [va, va+size) ignoring page
+// permissions, as a NIC's DMA engine does. Like View the slice is
+// ephemeral: it must not be held across an Alloc. It exists so hot
+// receive paths (signal polling, frame parsing) read frames without
+// copying.
+func (as *AddressSpace) ViewDMA(va uint64, size int) ([]byte, error) {
+	i, ok := as.index(va)
+	if !ok || size < 0 || i+size > as.capacity {
+		return nil, &Fault{Addr: va, Size: size, Kind: AccessRead, OOB: true}
+	}
+	as.ensure(i + size)
 	return as.data[i : i+size : i+size], nil
 }
 
@@ -262,6 +323,7 @@ func (as *AddressSpace) WriteBytes(va uint64, b []byte) error {
 		return err
 	}
 	i, _ := as.index(va)
+	as.ensure(i + len(b))
 	copy(as.data[i:], b)
 	return nil
 }
@@ -271,9 +333,10 @@ func (as *AddressSpace) WriteBytes(va uint64, b []byte) error {
 // simnet layer before delivery, not the CPU page tables.
 func (as *AddressSpace) WriteBytesDMA(va uint64, b []byte) error {
 	i, ok := as.index(va)
-	if !ok || i+len(b) > len(as.data) {
+	if !ok || i+len(b) > as.capacity {
 		return &Fault{Addr: va, Size: len(b), Kind: AccessWrite, OOB: true}
 	}
+	as.ensure(i + len(b))
 	copy(as.data[i:], b)
 	return nil
 }
@@ -281,9 +344,10 @@ func (as *AddressSpace) WriteBytesDMA(va uint64, b []byte) error {
 // ReadBytesDMA reads ignoring page permissions (RDMA read path).
 func (as *AddressSpace) ReadBytesDMA(va uint64, size int) ([]byte, error) {
 	i, ok := as.index(va)
-	if !ok || i+size > len(as.data) {
+	if !ok || size < 0 || i+size > as.capacity {
 		return nil, &Fault{Addr: va, Size: size, Kind: AccessRead, OOB: true}
 	}
+	as.ensure(i + size)
 	out := make([]byte, size)
 	copy(out, as.data[i:i+size])
 	return out, nil
@@ -296,6 +360,9 @@ func (as *AddressSpace) ReadU8(va uint64) (uint64, error) {
 		return 0, err
 	}
 	i, _ := as.index(va)
+	if i+1 > len(as.data) {
+		as.ensure(i + 1)
+	}
 	return uint64(as.data[i]), nil
 }
 
@@ -304,6 +371,9 @@ func (as *AddressSpace) ReadU16(va uint64) (uint64, error) {
 		return 0, err
 	}
 	i, _ := as.index(va)
+	if i+2 > len(as.data) {
+		as.ensure(i + 2)
+	}
 	return uint64(binary.LittleEndian.Uint16(as.data[i:])), nil
 }
 
@@ -312,6 +382,9 @@ func (as *AddressSpace) ReadU32(va uint64) (uint64, error) {
 		return 0, err
 	}
 	i, _ := as.index(va)
+	if i+4 > len(as.data) {
+		as.ensure(i + 4)
+	}
 	return uint64(binary.LittleEndian.Uint32(as.data[i:])), nil
 }
 
@@ -320,6 +393,9 @@ func (as *AddressSpace) ReadU64(va uint64) (uint64, error) {
 		return 0, err
 	}
 	i, _ := as.index(va)
+	if i+8 > len(as.data) {
+		as.ensure(i + 8)
+	}
 	return binary.LittleEndian.Uint64(as.data[i:]), nil
 }
 
@@ -328,6 +404,9 @@ func (as *AddressSpace) WriteU8(va uint64, v uint64) error {
 		return err
 	}
 	i, _ := as.index(va)
+	if i+1 > len(as.data) {
+		as.ensure(i + 1)
+	}
 	as.data[i] = byte(v)
 	return nil
 }
@@ -337,6 +416,9 @@ func (as *AddressSpace) WriteU16(va uint64, v uint64) error {
 		return err
 	}
 	i, _ := as.index(va)
+	if i+2 > len(as.data) {
+		as.ensure(i + 2)
+	}
 	binary.LittleEndian.PutUint16(as.data[i:], uint16(v))
 	return nil
 }
@@ -346,6 +428,9 @@ func (as *AddressSpace) WriteU32(va uint64, v uint64) error {
 		return err
 	}
 	i, _ := as.index(va)
+	if i+4 > len(as.data) {
+		as.ensure(i + 4)
+	}
 	binary.LittleEndian.PutUint32(as.data[i:], uint32(v))
 	return nil
 }
@@ -355,6 +440,9 @@ func (as *AddressSpace) WriteU64(va uint64, v uint64) error {
 		return err
 	}
 	i, _ := as.index(va)
+	if i+8 > len(as.data) {
+		as.ensure(i + 8)
+	}
 	binary.LittleEndian.PutUint64(as.data[i:], v)
 	return nil
 }

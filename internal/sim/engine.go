@@ -1,46 +1,39 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled (FIFO tie-break by sequence number), which keeps runs
-// deterministic.
+// event is one scheduled callback, stored by value in the engine's queue.
+// Events with equal times fire in the order they were scheduled (FIFO
+// tie-break by sequence number), which keeps runs deterministic.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// before is the queue's strict total order: (at, seq) ascending. Because
+// seq is unique, two distinct events are never equal, so any heap shape
+// pops them in exactly one order — the same order the old binary heap
+// produced.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // Engine is a discrete-event simulation engine: a virtual clock plus an
 // ordered queue of pending events. An Engine is not safe for concurrent use;
 // the entire simulation runs single-threaded, which is what makes it
 // deterministic.
+//
+// The queue is an inlined 4-ary min-heap over value-type events: pushes
+// append into the slice and pops backfill from the tail, so the slice's
+// capacity acts as the event free-list — steady-state scheduling performs
+// no per-event allocation and no interface boxing. A 4-ary layout halves
+// the tree depth of a binary heap, trading slightly wider sift-down scans
+// (which stay within one cache line of siblings) for fewer levels touched
+// per operation.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	queue  []event
 	seq    uint64
 	nSteps uint64
 }
@@ -63,7 +56,20 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %d < now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn}
+	q := append(e.queue, ev)
+	// Sift up: move the hole toward the root until the parent sorts first.
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
 }
 
 // After schedules fn to run d after the current time.
@@ -72,6 +78,47 @@ func (e *Engine) After(d Duration, fn func()) {
 		d = 0
 	}
 	e.At(e.now.Add(d), fn)
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the queue does not pin the popped closure; the slice capacity
+// is retained and reused by subsequent pushes.
+func (e *Engine) pop() event {
+	q := e.queue
+	n := len(q) - 1
+	root := q[0]
+	last := q[n]
+	q[n] = event{}
+	q = q[:n]
+	if n > 0 {
+		// Sift the former tail down from the root: at each level pick the
+		// smallest of up to four children.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(&q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(&last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	e.queue = q
+	return root
 }
 
 // Pending reports the number of events waiting in the queue.
@@ -83,7 +130,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nSteps++
 	ev.fn()

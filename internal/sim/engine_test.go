@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEngineHeapMatchesSortedOrder drives the 4-ary heap with a large
+// random schedule — duplicate timestamps included — and checks events pop
+// in exact (at, seq) order, the total order the old binary heap produced.
+func TestEngineHeapMatchesSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	type key struct {
+		at  Time
+		seq int
+	}
+	var want []key
+	var got []key
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(500)) // dense times force many ties
+		k := key{at, i}
+		want = append(want, k)
+		e.At(at, func() { got = append(got, k) })
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("executed %d of %d events", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got (at=%d seq=%d), want (at=%d seq=%d)",
+				i, got[i].at, got[i].seq, want[i].at, want[i].seq)
+		}
+	}
+}
+
+// TestEngineSameTimestampSeqOrder pins the FIFO tie-break when events
+// are interleaved with differently-timed ones (so the heap actually has
+// to restore order, unlike an append-only schedule).
+func TestEngineSameTimestampSeqOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.At(Time(100+10*(i%2)), func() { got = append(got, i) }) // alternate 100/110
+	}
+	e.Run()
+	want := []int{0, 2, 4, 6, 1, 3, 5, 7} // all t=100 in seq order, then all t=110
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineScheduleAtNowFromEvent schedules new work at the current
+// time from inside an executing event: it must run in this same
+// time-step, after already-queued events of the same timestamp (its seq
+// is larger), and before any later-timed event.
+func TestEngineScheduleAtNowFromEvent(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(10, func() {
+		got = append(got, "a")
+		e.At(e.Now(), func() { got = append(got, "now") })
+		e.After(0, func() { got = append(got, "after0") })
+	})
+	e.At(10, func() { got = append(got, "b") })
+	e.At(11, func() { got = append(got, "later") })
+	e.Run()
+	want := []string{"a", "b", "now", "after0", "later"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 11 {
+		t.Fatalf("Now = %d, want 11", e.Now())
+	}
+}
+
+// TestRunUntilLeavesFutureEventsQueued pins that RunUntil executes
+// nothing past the deadline, leaves the remainder queued in order, and
+// that a subsequent Run drains them.
+func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for _, at := range []Time{5, 10, 15, 20, 25} {
+		at := at
+		e.At(at, func() { got = append(got, int(at)) })
+	}
+	e.RunUntil(15)
+	if len(got) != 3 || got[0] != 5 || got[1] != 10 || got[2] != 15 {
+		t.Fatalf("ran %v through deadline 15", got)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now = %d, want 15", e.Now())
+	}
+	e.Run()
+	if len(got) != 5 || got[3] != 20 || got[4] != 25 {
+		t.Fatalf("drain after RunUntil ran %v", got)
+	}
+}
+
+// TestEngineQueueReleasesClosures checks the popped tail slot is zeroed:
+// the queue must not pin executed closures (their captures) alive.
+func TestEngineQueueReleasesClosures(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	for i := range e.queue[:cap(e.queue)] {
+		ev := e.queue[:cap(e.queue):cap(e.queue)][i]
+		if ev.fn != nil {
+			t.Fatalf("queue slot %d still holds a closure after Run", i)
+		}
+	}
+}
+
+// --- engine micro-benchmarks (the sim → injection hot path's base cost) ---
+
+// BenchmarkEngineSchedulePop measures the push+pop cycle at a steady
+// queue depth typical of a loaded mesh (hundreds of in-flight events).
+func BenchmarkEngineSchedulePop(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	const depth = 256
+	for i := 0; i < depth; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+depth, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCascade measures self-rescheduling chains — the
+// self-clocked sender pattern — with an otherwise empty queue.
+func BenchmarkEngineCascade(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, tick)
+	e.Run()
+	if n < b.N {
+		b.Fatalf("ran %d of %d ticks", n, b.N)
+	}
+}
+
+// BenchmarkEngineBurstDrain measures scheduling a full burst then
+// draining it — the SendBatch shape.
+func BenchmarkEngineBurstDrain(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	const burst = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < burst; j++ {
+			e.At(base+Time(j%7), fn)
+		}
+		e.Run()
+	}
+	b.SetBytes(0)
+}

@@ -7,6 +7,7 @@ package sim
 // of Resources overlaps exactly as hardware stages would.
 type Resource struct {
 	name     string
+	lazyName func() string // builds name on first use; nil once built
 	nextFree Time
 	busy     Duration // total busy time, for utilization reporting
 	served   uint64
@@ -17,8 +18,22 @@ func NewResource(name string) *Resource {
 	return &Resource{name: name}
 }
 
-// Name returns the diagnostic name.
-func (r *Resource) Name() string { return r.name }
+// NewResourceLazy returns an idle resource whose diagnostic name is built
+// only if something asks for it. Hot paths that mint many resources (one
+// per wire of an N-node fabric) use it to keep label formatting off the
+// setup path entirely.
+func NewResourceLazy(name func() string) *Resource {
+	return &Resource{lazyName: name}
+}
+
+// Name returns the diagnostic name, building (and caching) a lazy one.
+func (r *Resource) Name() string {
+	if r.lazyName != nil {
+		r.name = r.lazyName()
+		r.lazyName = nil
+	}
+	return r.name
+}
 
 // Claim reserves the resource for dur starting no earlier than now, queueing
 // behind earlier work. It returns the time at which this work completes.

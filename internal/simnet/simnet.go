@@ -84,6 +84,68 @@ type Fabric struct {
 	// that never calls AssignDomain behaves exactly as before.
 	domains map[int]int
 	uplinks map[[2]int]*sim.Resource
+
+	// bufs recycles the staging copies of in-flight put payloads (the
+	// bytes snapshot at issue time, released right after delivery lands);
+	// jobs recycles the per-put delivery records that replace per-put
+	// closures. Both are single-threaded, owned by the fabric's engine.
+	bufs sim.BufPool
+	jobs []*putJob
+}
+
+// putJob is the pooled in-flight state of one put between issue and
+// delivery. Its prebound run method is the event the engine fires at
+// arrival, so the steady-state delivery path schedules no fresh closures.
+type putJob struct {
+	fab        *Fabric
+	dst        *NIC
+	dstVA      uint64
+	data       []byte
+	onComplete func(PutResult)
+	run        func() // prebound
+}
+
+func (f *Fabric) getJob(dst *NIC, dstVA uint64, data []byte, onComplete func(PutResult)) *putJob {
+	var j *putJob
+	if n := len(f.jobs); n > 0 {
+		j = f.jobs[n-1]
+		f.jobs[n-1] = nil
+		f.jobs = f.jobs[:n-1]
+	} else {
+		j = &putJob{fab: f}
+		j.run = j.deliver
+	}
+	j.dst, j.dstVA, j.data, j.onComplete = dst, dstVA, data, onComplete
+	return j
+}
+
+// deliver lands the put: memory write + stash + hooks, with the job and
+// its staging buffer recycled before user callbacks run so re-entrant
+// sends reuse them immediately.
+func (j *putJob) deliver() {
+	f, dst, dstVA, data, onComplete := j.fab, j.dst, j.dstVA, j.data, j.onComplete
+	j.dst, j.data, j.onComplete = nil, nil, nil
+	f.jobs = append(f.jobs, j)
+
+	// Failure here is a model bug (registration guaranteed the range is
+	// mapped).
+	if err := dst.as.WriteBytesDMA(dstVA, data); err != nil {
+		panic(fmt.Sprintf("simnet: delivery DMA failed inside registration: %v", err))
+	}
+	size := len(data)
+	f.bufs.Put(data)
+	if dst.hier != nil {
+		dst.hier.NetworkWrite(dstVA, size)
+	}
+	dst.stats.PutsDelivered++
+	for _, hook := range dst.onDeliver {
+		if hook.end == 0 || (dstVA < hook.end && dstVA+uint64(size) > hook.base) {
+			hook.fn(dstVA, size)
+		}
+	}
+	if onComplete != nil {
+		onComplete(PutResult{Delivered: f.eng.Now()})
+	}
 }
 
 // NewFabric creates an empty fabric on the given event engine.
@@ -123,12 +185,14 @@ func (f *Fabric) DomainOf(p fabric.Port) int {
 	return 0
 }
 
-// wire returns the directional wire resource between two NIC ids.
+// wire returns the directional wire resource between two NIC ids. Labels
+// are lazy: an N-node mesh mints N² wires, and nothing formats a name
+// unless a trace actually prints it.
 func (f *Fabric) wire(src, dst int) *sim.Resource {
 	k := [2]int{src, dst}
 	w, ok := f.wires[k]
 	if !ok {
-		w = sim.NewResource(fmt.Sprintf("wire %d->%d", src, dst))
+		w = sim.NewResourceLazy(func() string { return fmt.Sprintf("wire %d->%d", src, dst) })
 		f.wires[k] = w
 	}
 	return w
@@ -140,7 +204,7 @@ func (f *Fabric) uplink(srcDom, dstDom int) *sim.Resource {
 	k := [2]int{srcDom, dstDom}
 	u, ok := f.uplinks[k]
 	if !ok {
-		u = sim.NewResource(fmt.Sprintf("uplink %d->%d", srcDom, dstDom))
+		u = sim.NewResourceLazy(func() string { return fmt.Sprintf("uplink %d->%d", srcDom, dstDom) })
 		f.uplinks[k] = u
 	}
 	return u
@@ -187,12 +251,13 @@ type deliveryHook struct {
 
 // AttachNIC adds a host to the fabric. hier may be nil (no cache model).
 func (f *Fabric) AttachNIC(as *mem.AddressSpace, hier *memsim.Hierarchy) *NIC {
+	id := len(f.nics)
 	n := &NIC{
-		ID:      len(f.nics),
+		ID:      id,
 		fabric:  f,
 		as:      as,
 		hier:    hier,
-		tx:      sim.NewResource(fmt.Sprintf("nic%d-tx", len(f.nics))),
+		tx:      sim.NewResourceLazy(func() string { return fmt.Sprintf("nic%d-tx", id) }),
 		regs:    map[RKey]*Registration{},
 		keyRng:  f.rng.Split(),
 		barrier: map[int]sim.Time{},
@@ -299,7 +364,10 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 	n.stats.PutsSent++
 	n.stats.BytesSent += uint64(size)
 
-	data, err := n.as.ReadBytesDMA(srcVA, size)
+	// Snapshot the payload at issue time into a pooled staging buffer (the
+	// sender may legitimately repack the slot before delivery); the buffer
+	// returns to the pool the moment delivery lands.
+	src, err := n.as.ViewDMA(srcVA, size)
 	if err != nil {
 		n.stats.Rejected++
 		eng.After(0, func() {
@@ -309,6 +377,8 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 		})
 		return
 	}
+	data := n.fabric.bufs.Get(size)
+	copy(data, src)
 
 	// NIC processing, then wire serialization.
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
@@ -333,6 +403,7 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 
 	if err := dst.checkAccess(key, dstVA, size, RemoteWrite); err != nil {
 		n.stats.Rejected++
+		n.fabric.bufs.Put(data)
 		eng.At(arrival, func() {
 			if onComplete != nil {
 				onComplete(PutResult{Err: err})
@@ -341,25 +412,7 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 		return
 	}
 
-	eng.At(arrival, func() {
-		// Deliver: memory write + stash + hook. Failure here is a model
-		// bug (registration guaranteed the range is mapped).
-		if err := dst.as.WriteBytesDMA(dstVA, data); err != nil {
-			panic(fmt.Sprintf("simnet: delivery DMA failed inside registration: %v", err))
-		}
-		if dst.hier != nil {
-			dst.hier.NetworkWrite(dstVA, size)
-		}
-		dst.stats.PutsDelivered++
-		for _, hook := range dst.onDeliver {
-			if hook.end == 0 || (dstVA < hook.end && dstVA+uint64(size) > hook.base) {
-				hook.fn(dstVA, size)
-			}
-		}
-		if onComplete != nil {
-			onComplete(PutResult{Delivered: eng.Now()})
-		}
-	})
+	eng.At(arrival, n.fabric.getJob(dst, dstVA, data, onComplete).run)
 }
 
 // Get issues a one-sided RDMA read of size bytes from srcVA on the target
@@ -393,7 +446,7 @@ func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComp
 		return
 	}
 	eng.At(arrival, func() {
-		data, err := dst.as.ReadBytesDMA(remoteVA, size)
+		data, err := dst.as.ViewDMA(remoteVA, size)
 		if err != nil {
 			panic(fmt.Sprintf("simnet: get DMA failed inside registration: %v", err))
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"twochains/internal/core"
+	"twochains/internal/mailbox"
 	"twochains/internal/sim"
 )
 
@@ -16,7 +17,7 @@ type Func struct {
 	sys       *System
 	src       int
 	pkg, elem string
-	bounds    map[int]*core.Bound
+	bounds    []*core.Bound // indexed by destination node
 }
 
 // Func returns a handle for the named element, sent from node src. The
@@ -37,7 +38,7 @@ func (s *System) Func(src int, pkg, elem string) (*Func, error) {
 	if e.Kind != core.ElemJam {
 		return nil, fmt.Errorf("tc: func: element %q in package %q is a %s, not a jam", elem, pkg, e.Kind)
 	}
-	return &Func{sys: s, src: src, pkg: pkg, elem: elem, bounds: map[int]*core.Bound{}}, nil
+	return &Func{sys: s, src: src, pkg: pkg, elem: elem, bounds: make([]*core.Bound, s.mesh.Nodes())}, nil
 }
 
 // Source returns the handle's sending node.
@@ -49,8 +50,10 @@ func (f *Func) Name() string { return f.pkg + "/" + f.elem }
 // bound returns the per-destination handle, creating the channel (and its
 // mailbox region) on first use.
 func (f *Func) bound(dst int) (*core.Bound, error) {
-	if b, ok := f.bounds[dst]; ok {
-		return b, nil
+	if dst >= 0 && dst < len(f.bounds) {
+		if b := f.bounds[dst]; b != nil {
+			return b, nil
+		}
 	}
 	ch, err := f.sys.mesh.Channel(f.src, dst)
 	if err != nil {
@@ -69,19 +72,32 @@ type callCfg struct {
 	batch [][2]uint64
 }
 
-// CallOpt adjusts one Call.
-type CallOpt func(*callCfg)
+// Call option kinds.
+const (
+	optLocal = iota + 1
+	optPayload
+	optBurst
+)
+
+// CallOpt adjusts one Call. Options are small immutable values, not
+// closures: constructing them at the call site allocates nothing, so the
+// steady-state Call path stays allocation-free without hoisting.
+type CallOpt struct {
+	kind  uint8
+	usr   []byte
+	batch [][2]uint64
+}
 
 // Local selects Local Function invocation: only IDs and payload travel,
 // and the receiver calls its library copy of the function. The default is
 // Injected Function (the code travels in the frame).
 func Local() CallOpt {
-	return func(c *callCfg) { c.local = true }
+	return CallOpt{kind: optLocal}
 }
 
 // Payload attaches the user data payload.
 func Payload(usr []byte) CallOpt {
-	return func(c *callCfg) { c.usr = usr }
+	return CallOpt{kind: optPayload, usr: usr}
 }
 
 // Burst sends the whole batch — one message per args entry — as a single
@@ -89,23 +105,40 @@ func Payload(usr []byte) CallOpt {
 // into single puts. The batch replaces Call's single args argument; an
 // empty (or nil) batch sends nothing and resolves immediately.
 func Burst(batch [][2]uint64) CallOpt {
-	return func(c *callCfg) { c.burst, c.batch = true, batch }
+	return CallOpt{kind: optBurst, batch: batch}
+}
+
+// apply folds the option into the collected configuration.
+func (o CallOpt) apply(c *callCfg) {
+	switch o.kind {
+	case optLocal:
+		c.local = true
+	case optPayload:
+		c.usr = o.usr
+	case optBurst:
+		c.burst, c.batch = true, o.batch
+	}
 }
 
 // Call sends the function to node dst and returns a Future that resolves
 // when every message of the call has been delivered. Errors — unknown
 // destination, unresolvable symbols, torn-down receiver — surface on the
 // returned future (already resolved), never as a lost callback.
+//
+// Futures are pooled: a fire-and-forget Call (result discarded, no Done,
+// no Await) recycles its future automatically when it resolves during the
+// simulation, so the steady-state call path allocates nothing. See Future
+// for the ownership rules.
 func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 	var cfg callCfg
 	for _, o := range opts {
-		o(&cfg)
+		o.apply(&cfg)
 	}
 	n := 1
 	if cfg.burst {
 		n = len(cfg.batch)
 	}
-	fu := newFuture(f.sys.Engine(), n)
+	fu := f.sys.newFuture(n)
 	if n == 0 {
 		fu.resolve()
 		return fu
@@ -115,19 +148,24 @@ func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 		fu.fail(err)
 		return fu
 	}
+	fu.injected = !cfg.local
 	switch {
 	case cfg.local && cfg.burst:
-		err = b.CallLocalBurst(cfg.batch, cfg.usr, fu.complete)
+		err = b.CallLocalBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
 	case cfg.local:
-		err = b.CallLocal(args, cfg.usr, fu.complete)
+		err = b.CallLocalInfo(args, cfg.usr, fu.infoCb)
 	case cfg.burst:
-		err = b.InjectBurst(cfg.batch, cfg.usr, fu.complete)
+		err = b.InjectBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
 	default:
-		err = b.Inject(args, cfg.usr, fu.complete)
+		err = b.InjectInfo(args, cfg.usr, fu.infoCb)
 	}
 	if err != nil {
 		fu.fail(err)
+		return fu
 	}
+	// Armed: the call is in flight and resolution will happen inside the
+	// engine — the point where an unobserved future can recycle safely.
+	fu.armed = true
 	return fu
 }
 
@@ -161,16 +199,91 @@ type Result struct {
 // Future is the completion handle of one Call. It resolves exactly once,
 // on the shared discrete-event engine — there is no wall-clock waiting
 // and no concurrency; Await replays deterministically for a fixed seed.
+//
+// Futures are pooled per System. The ownership rules:
+//
+//   - A future that is never observed — no Done, no Await, no Retain
+//     before it resolves — returns to the pool automatically the moment
+//     it resolves inside the simulation. Fire-and-forget callers
+//     (Call(...).IssueErr(), or discarding the return entirely) therefore
+//     never allocate and never need to clean up, but must not touch the
+//     future after running the simulation.
+//   - Registering a Done callback, calling Await, or calling Retain marks
+//     the future observed: it stays valid indefinitely and is simply
+//     garbage collected, exactly like the pre-pooling behaviour. Callers
+//     that poll Result after sys.Run() must observe the future first
+//     (Retain is the no-op-shaped way to do that).
+//   - Release hands an observed future back to the pool once the caller
+//     is done with it (safe from inside its own Done callback). After
+//     Release the future must not be touched.
 type Future struct {
+	sys      *System
 	eng      *sim.Engine
 	expect   int
 	resolved bool
+	observed bool // Done/Await/Retain seen: caller keeps the handle
+	armed    bool // in flight; resolution happens inside the engine
+	released bool // caller opted back into recycling
+	free     bool // currently in the pool (reuse/double-release guard)
+	injected bool // invocation method of the in-flight call
 	res      Result
 	cbs      []func(Result)
+	// infoCb and completeCb are prebound adapters created once per pooled
+	// future and reused across generations, so issuing a call allocates
+	// no closures.
+	infoCb     func(mailbox.SendInfo)
+	completeCb func(core.Result)
 }
 
-func newFuture(eng *sim.Engine, expect int) *Future {
-	return &Future{eng: eng, expect: expect}
+// newFuture takes a future from the system pool (or mints one with its
+// prebound adapters) and resets it for a call expecting n completions.
+func (s *System) newFuture(expect int) *Future {
+	var fu *Future
+	if n := len(s.futures); n > 0 {
+		fu = s.futures[n-1]
+		s.futures[n-1] = nil
+		s.futures = s.futures[:n-1]
+	} else {
+		fu = &Future{sys: s, eng: s.Engine()}
+		fu.infoCb = fu.completeInfo
+		fu.completeCb = fu.complete
+	}
+	fu.expect = expect
+	fu.resolved, fu.observed, fu.armed, fu.released, fu.free = false, false, false, false, false
+	fu.injected = false
+	fu.res = Result{}
+	fu.cbs = fu.cbs[:0]
+	return fu
+}
+
+// recycle returns the future to its system's pool.
+func (fu *Future) recycle() {
+	if fu.free {
+		return
+	}
+	fu.free = true
+	fu.sys.futures = append(fu.sys.futures, fu)
+}
+
+// completeInfo folds one mailbox-level completion into the aggregate.
+func (fu *Future) completeInfo(info mailbox.SendInfo) {
+	if fu.resolved {
+		return
+	}
+	fu.res.N++
+	if fu.res.Seq == 0 {
+		fu.res.Seq = info.Seq
+	}
+	if info.Err != nil && fu.res.Err == nil {
+		fu.res.Err = info.Err
+	}
+	if info.Delivered > fu.res.Delivered {
+		fu.res.Delivered = info.Delivered
+	}
+	fu.res.Injected = fu.injected
+	if fu.res.N >= fu.expect {
+		fu.resolve()
+	}
 }
 
 // complete folds one per-message completion into the aggregate.
@@ -204,15 +317,44 @@ func (fu *Future) fail(err error) {
 
 func (fu *Future) resolve() {
 	fu.resolved = true
-	cbs := fu.cbs
-	fu.cbs = nil
-	for _, cb := range cbs {
-		cb(fu.res)
+	// Callbacks may append more via Done-after-resolve semantics only
+	// directly (Done invokes immediately once resolved), so iterating the
+	// current list is complete.
+	for i := range fu.cbs {
+		fu.cbs[i](fu.res)
+		fu.cbs[i] = nil
+	}
+	fu.cbs = fu.cbs[:0]
+	if fu.armed && (!fu.observed || fu.released) {
+		// Nobody is holding this future (or the holder released it):
+		// hand it back to the pool.
+		fu.recycle()
 	}
 }
 
 // Resolved reports whether the future has completed.
 func (fu *Future) Resolved() bool { return fu.resolved }
+
+// Retain marks the future observed, pinning it out of the pool so the
+// caller can poll Result after the simulation has run. It returns the
+// future for chaining; call it synchronously after Call, before running
+// the simulation.
+func (fu *Future) Retain() *Future {
+	fu.observed = true
+	return fu
+}
+
+// Release hands the future back to the pool: the caller promises not to
+// touch it again. Unresolved futures release when they resolve (their
+// Done callbacks still run first); resolved ones recycle immediately.
+// Releasing is optional — an unreleased observed future is simply
+// garbage collected.
+func (fu *Future) Release() {
+	fu.released = true
+	if fu.resolved {
+		fu.recycle()
+	}
+}
 
 // IssueErr reports a synchronous issue failure: the call resolved before
 // any message went out (unknown destination, unresolvable symbol,
@@ -229,7 +371,8 @@ func (fu *Future) IssueErr() error {
 func (fu *Future) Result() (res Result, ok bool) { return fu.res, fu.resolved }
 
 // Done registers cb to run when the future resolves (immediately if it
-// already has). It returns the future for chaining.
+// already has). Registering a callback observes the future — it stays out
+// of the pool until Release. It returns the future for chaining.
 func (fu *Future) Done(cb func(Result)) *Future {
 	if cb == nil {
 		return fu
@@ -238,6 +381,7 @@ func (fu *Future) Done(cb func(Result)) *Future {
 		cb(fu.res)
 		return fu
 	}
+	fu.observed = true
 	fu.cbs = append(fu.cbs, cb)
 	return fu
 }
@@ -246,7 +390,10 @@ func (fu *Future) Done(cb func(Result)) *Future {
 // returns the aggregate result. It is deterministic: equal seeds replay
 // equal outcomes. If the simulation goes quiescent first (a lost credit,
 // a stopped receiver), Await reports it as an error instead of spinning.
+// Awaiting observes the future: it stays valid (and poolable only via
+// Release) after Await returns.
 func (fu *Future) Await() (Result, error) {
+	fu.observed = true
 	for !fu.resolved {
 		if !fu.eng.Step() {
 			return fu.res, fmt.Errorf("tc: await: simulation quiescent with future unresolved (%d/%d messages)",

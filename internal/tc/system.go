@@ -14,6 +14,9 @@ import (
 // subsumes the former Cluster/Mesh split: a cluster is a 2-node System.
 type System struct {
 	mesh *core.Mesh
+	// futures is the system's future pool (see Future's ownership rules).
+	// Like the engine it is single-threaded.
+	futures []*Future
 }
 
 // SystemOpt adjusts the deployment template before the system is built.
@@ -173,7 +176,7 @@ func (s *System) Channel(src, dst int) (*core.Channel, error) {
 // SendData sends a delivery-only frame (the without-execution mode of the
 // overhead experiments) and returns its future.
 func (s *System) SendData(src, dst int, usr []byte) *Future {
-	fu := newFuture(s.Engine(), 1)
+	fu := s.newFuture(1)
 	ch, err := s.mesh.Channel(src, dst)
 	if err != nil {
 		fu.fail(err)
@@ -183,7 +186,8 @@ func (s *System) SendData(src, dst int, usr []byte) *Future {
 		fu.fail(fmt.Errorf("tc: %d->%d: destination node torn down", src, dst))
 		return fu
 	}
-	ch.SendData(usr, fu.complete)
+	ch.SendData(usr, fu.completeCb)
+	fu.armed = true
 	return fu
 }
 

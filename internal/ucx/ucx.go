@@ -20,6 +20,7 @@ package ucx
 
 import (
 	"fmt"
+	"sync"
 
 	"twochains/internal/fabric"
 	"twochains/internal/mem"
@@ -153,6 +154,44 @@ func (ep *Endpoint) release() {
 	}
 }
 
+// thinOp is the pooled issue record of one thin put between post and NIC
+// hand-off. Its prebound fire/complete methods replace the two closures
+// the path used to allocate per message.
+type thinOp struct {
+	ep          *Endpoint
+	srcVA       uint64
+	dstVA       uint64
+	size        int
+	key         fabric.RKey
+	onDelivered func(error, sim.Time)
+	fire        func()                 // prebound: hand the put to the NIC
+	cb          func(fabric.PutResult) // prebound: recycle, then report delivery
+}
+
+var thinOpPool sync.Pool
+
+func init() {
+	thinOpPool.New = func() any {
+		op := &thinOp{}
+		op.fire = op.doFire
+		op.cb = op.complete
+		return op
+	}
+}
+
+func (op *thinOp) doFire() {
+	op.ep.Local.NIC.Put(op.ep.Remote.NIC, op.srcVA, op.dstVA, op.size, op.key, op.cb)
+}
+
+func (op *thinOp) complete(res fabric.PutResult) {
+	onDelivered := op.onDelivered
+	op.ep, op.onDelivered = nil, nil
+	thinOpPool.Put(op)
+	if onDelivered != nil {
+		onDelivered(res.Err, res.Delivered)
+	}
+}
+
 // PutThin is the reactive-mailbox send path: the caller has already packed
 // the frame and manages its own credits, so the library only pays pack,
 // post, doorbell, and the protocol tier cost. Frames go through the same
@@ -166,19 +205,14 @@ func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key fabric.RKey, onDe
 	tier := model.TierFor(size)
 	swCost := model.AmPackOverhead + model.AmPostOverhead + tier.Overhead + model.DoorbellLat
 	postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
-	fire := func() {
-		ep.Local.NIC.Put(ep.Remote.NIC, srcVA, dstVA, size, key, func(res fabric.PutResult) {
-			if onDelivered != nil {
-				onDelivered(res.Err, res.Delivered)
-			}
-		})
-	}
+	op := thinOpPool.Get().(*thinOp)
+	op.ep, op.srcVA, op.dstVA, op.size, op.key, op.onDelivered = ep, srcVA, dstVA, size, key, onDelivered
 	if tier.Name == "rndv" {
 		// Handshake delay; not serialized through any resource, so
 		// concurrent mailbox slots overlap their handshakes.
-		eng.At(postDone.Add(2*model.PutBaseLat), fire)
+		eng.At(postDone.Add(2*model.PutBaseLat), op.fire)
 	} else {
-		eng.At(postDone, fire)
+		eng.At(postDone, op.fire)
 	}
 }
 

@@ -53,13 +53,17 @@ func nativeMemcpy(env *Env, args [6]uint64) (uint64, error) {
 	if n > 1<<30 {
 		return 0, fmt.Errorf("memcpy: implausible length %d", n)
 	}
-	buf, err := env.AS.ReadBytes(src, int(n))
+	// Aliased views, not copies: copy() has memmove semantics, so
+	// overlapping ranges behave like the C library's memmove-safe memcpy.
+	dbuf, err := env.AS.ViewMut(dst, int(n))
 	if err != nil {
 		return 0, err
 	}
-	if err := env.AS.WriteBytes(dst, buf); err != nil {
+	sbuf, err := env.AS.View(src, int(n))
+	if err != nil {
 		return 0, err
 	}
+	copy(dbuf, sbuf)
 	env.Access(src, int(n), memsim.Read)
 	env.Access(dst, int(n), memsim.Write)
 	chargeCopy(env, n)
@@ -74,14 +78,12 @@ func nativeMemset(env *Env, args [6]uint64) (uint64, error) {
 	if n > 1<<30 {
 		return 0, fmt.Errorf("memset: implausible length %d", n)
 	}
-	buf := make([]byte, n)
-	if byte(c) != 0 {
-		for i := range buf {
-			buf[i] = byte(c)
-		}
-	}
-	if err := env.AS.WriteBytes(dst, buf); err != nil {
+	dbuf, err := env.AS.ViewMut(dst, int(n))
+	if err != nil {
 		return 0, err
+	}
+	for i := range dbuf {
+		dbuf[i] = byte(c)
 	}
 	env.Access(dst, int(n), memsim.Write)
 	chargeCopy(env, n)
@@ -93,11 +95,11 @@ func nativeMemcmp(env *Env, args [6]uint64) (uint64, error) {
 	if n > 1<<30 {
 		return 0, fmt.Errorf("memcmp: implausible length %d", n)
 	}
-	ba, err := env.AS.ReadBytes(a, int(n))
+	ba, err := env.AS.View(a, int(n))
 	if err != nil {
 		return 0, err
 	}
-	bb, err := env.AS.ReadBytes(b, int(n))
+	bb, err := env.AS.View(b, int(n))
 	if err != nil {
 		return 0, err
 	}

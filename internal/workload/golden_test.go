@@ -1,0 +1,99 @@
+package workload
+
+import "testing"
+
+// goldenRun pins one scenario's observable outcome: the fabric-wide
+// digest, the exact simulated finish time, and the executed-injection
+// count. The expectations were captured on the pre-PR-3 implementation
+// (container/heap engine, per-message heap allocation everywhere), so
+// they prove the allocation-free hot path is a pure host-side
+// optimization: pooling, the 4-ary event heap, the decoded-jam cache,
+// and the lazily mapped address spaces change neither message order nor
+// simulated timing by a single tick.
+//
+// If an intentional model change moves these numbers, re-capture them in
+// one dedicated commit — never alongside a performance change, or the
+// equivalence evidence is lost.
+type goldenRun struct {
+	pattern Pattern
+	nodes   int
+	burst   int
+	seed    uint64
+
+	digest  uint64
+	simTime int64
+	inj     int
+	swapped bool
+	hotNode int
+}
+
+// Two seed/shape points per pattern: the benchmark shape (8 nodes, burst
+// 8, default seed) and a smaller off-default shape on a different seed.
+var goldenRuns = []goldenRun{
+	{Fanout, 8, 8, 0x7c2c2021, 0xdc88806bb77ecbe0, 63237690, 112, false, -1},
+	{AllToAll, 8, 8, 0x7c2c2021, 0x269bfefd7c3223c0, 64640105, 896, false, -1},
+	{Hotspot, 8, 8, 0x7c2c2021, 0xfc58e0defda2e9b0, 70037311, 784, true, 0},
+	{Fanout, 6, 4, 0x51edba5e, 0xf0015dbce33297d0, 22211178, 40, false, -1},
+	{AllToAll, 6, 4, 0x51edba5e, 0x37a43f99ad3f3b80, 22825178, 240, false, -1},
+	{Hotspot, 6, 4, 0x51edba5e, 0x441fa5f0335082e0, 22588284, 200, true, -2},
+}
+
+// TestGoldenDigests pins bit-identical digests and simulated times for
+// fixed seeds across all three workload patterns.
+func TestGoldenDigests(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(string(g.pattern), func(t *testing.T) {
+			sc := DefaultScenario(g.pattern, g.nodes)
+			sc.Rounds = 2
+			sc.Burst = g.burst
+			sc.Seed = g.seed
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest != g.digest {
+				t.Errorf("digest = %#x, want %#x", res.Digest, g.digest)
+			}
+			if int64(res.SimTime) != g.simTime {
+				t.Errorf("simulated time = %d, want %d", int64(res.SimTime), g.simTime)
+			}
+			if res.Injections != g.inj {
+				t.Errorf("injections = %d, want %d", res.Injections, g.inj)
+			}
+			if res.Swapped != g.swapped {
+				t.Errorf("swapped = %v, want %v", res.Swapped, g.swapped)
+			}
+			if g.hotNode != -2 && res.HotNode != g.hotNode {
+				t.Errorf("hot node = %d, want %d", res.HotNode, g.hotNode)
+			}
+			var errs int
+			for _, nr := range res.PerNode {
+				errs += nr.Errors
+			}
+			if errs != 0 {
+				t.Errorf("%d handler errors in a golden run", errs)
+			}
+		})
+	}
+}
+
+// TestGoldenRepeatable re-runs one scenario twice in the same process:
+// pooled frames, futures, and engine queues must leave no state behind
+// that could couple two runs.
+func TestGoldenRepeatable(t *testing.T) {
+	sc := DefaultScenario(Hotspot, 8)
+	sc.Rounds = 2
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.SimTime != b.SimTime || a.Injections != b.Injections {
+		t.Fatalf("back-to-back runs diverged: %#x/%d/%d vs %#x/%d/%d",
+			a.Digest, a.SimTime, a.Injections, b.Digest, b.SimTime, b.Injections)
+	}
+}

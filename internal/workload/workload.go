@@ -403,6 +403,12 @@ func Run(sc Scenario) (*Result, error) {
 		s := src
 		next := 0
 		var fire func()
+		// One completion callback per sender, not per burst: fire is the
+		// self-clock, onDone re-arms it.
+		onDone := func(tc.Result) { fire() }
+		payloadOpt := tc.Payload(payload)
+		localOpt := tc.Local()
+		optScratch := make([]tc.CallOpt, 0, 3)
 		fire = func() {
 			if next >= len(queue) || issueErr != nil {
 				return
@@ -414,9 +420,9 @@ func Run(sc Scenario) (*Result, error) {
 				issueErr = err
 				return
 			}
-			callOpts := []tc.CallOpt{tc.Burst(b.args), tc.Payload(payload)}
+			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
 			if b.local {
-				callOpts = append(callOpts, tc.Local())
+				callOpts = append(callOpts, localOpt)
 			}
 			fu := fn.Call(b.dst, b.args[0], callOpts...)
 			if err := fu.IssueErr(); err != nil {
@@ -425,7 +431,11 @@ func Run(sc Scenario) (*Result, error) {
 				issueErr = err
 				return
 			}
-			fu.Done(func(tc.Result) { fire() })
+			fu.Done(onDone)
+			// The future is not touched after its Done callback: hand it
+			// back to the pool so self-clocked senders recycle one future
+			// per in-flight burst instead of allocating per burst.
+			fu.Release()
 		}
 		sys.Engine().After(0, fire)
 	}
