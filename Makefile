@@ -3,9 +3,13 @@
 # (mesh workloads plus the handle-vs-string invocation pair, with
 # -benchmem so allocation regressions surface in CI logs).
 #
-# `make bench-json` regenerates BENCH_PR3.json — the machine-readable
+# `make examples` builds and runs every examples/* binary headless — the
+# cheapest whole-surface smoke of the public API (CI runs it too).
+#
+# `make bench-json` regenerates BENCH_PR4.json — the machine-readable
 # perf trajectory point (ns/op, allocs/op, simulated injections/sec,
-# speedup vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json).
+# speedup vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json),
+# now including the composed kvstore/multi-phase scenario benchmarks.
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
 # `go tool pprof`).
@@ -13,7 +17,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test bench-smoke bench-json profile perf
+.PHONY: check fmt-check vet build test bench-smoke bench-json profile perf examples
 
 check: fmt-check vet build test bench-smoke
 
@@ -32,16 +36,24 @@ build:
 test:
 	$(GO) test -race ./...
 
+examples:
+	$(GO) build ./examples/...
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null || exit 1; \
+	done
+	@echo "all examples ran clean"
+
 bench-smoke:
-	$(GO) test -run xxx -bench BenchmarkMesh -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 1x .
 	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
 
 bench-json:
-	@{ $(GO) test -run xxx -bench 'BenchmarkMesh' -benchmem -benchtime 10x . && \
+	@{ $(GO) test -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 10x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject|BenchmarkFramePack' -benchmem -benchtime 200000x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim; } \
-	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o BENCH_PR3.json
-	@echo "wrote BENCH_PR3.json"
+	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 profile: vet
 	$(GO) test -run xxx -bench BenchmarkMeshAllToAll -benchtime 20x \
@@ -50,3 +62,4 @@ profile: vet
 
 perf:
 	$(GO) run ./cmd/tcperf -e mesh
+	$(GO) run ./cmd/tcperf -e scenarios

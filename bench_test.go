@@ -235,6 +235,32 @@ func BenchmarkMeshAllToAll(b *testing.B) { runMesh(b, workload.AllToAll, 8) }
 // the hot node.
 func BenchmarkMeshHotspot(b *testing.B) { runMesh(b, workload.Hotspot, 8) }
 
+// runScenario executes one composed scenario per b.N batch (same
+// shape as runMesh, over an arbitrary Scenario).
+func runScenario(b *testing.B, sc workload.Scenario) {
+	b.Helper()
+	b.ReportAllocs()
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RatePerSec, "sim_inj_per_sec")
+	b.ReportMetric(float64(res.Injections), "msgs")
+	b.ReportMetric(res.SimTime.Microseconds(), "sim_us")
+}
+
+// BenchmarkKVStoreOpenLoop: the open-loop Poisson kvstore scenario —
+// put/get/scan traffic over the tcapp kvstore application.
+func BenchmarkKVStoreOpenLoop(b *testing.B) { runScenario(b, workload.KVStoreScenario(8)) }
+
+// BenchmarkMultiPhaseMix: warmup -> RIED swap -> mixed drain across
+// three application packages (tcbench + kvstore + histo reduce).
+func BenchmarkMultiPhaseMix(b *testing.B) { runScenario(b, workload.MultiPhaseScenario(8)) }
+
 // --- framework micro-benchmarks (host-time, not simulated time) ---
 
 // BenchmarkFramePack measures packing an injected frame.
@@ -297,9 +323,10 @@ func BenchmarkInstrDecode(b *testing.B) {
 }
 
 // benchInvokePath measures the host-side cost of issuing and fully
-// simulating one inject through either the deprecated string-resolving
-// Channel.Inject or the pre-resolved tc.Func handle. The pair exists to
-// pin the API redesign's performance claim: the handle path must not be
+// simulating one inject through either per-call string resolution
+// (Channel.Handle looks the Bound up by (pkg, elem) strings every call)
+// or the pre-resolved tc.Func handle. The pair exists to pin the API
+// redesign's performance claim: the bind-once handle path must not be
 // slower than per-call string resolution.
 func benchInvokePath(b *testing.B, handle bool) {
 	b.Helper()
@@ -338,7 +365,7 @@ func benchInvokePath(b *testing.B, handle bool) {
 				b.Fatal(res.Err)
 			}
 		} else {
-			if err := ch.Inject("tcbench", "jam_iput", args, payload, nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_iput").Inject(args, payload, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -346,7 +373,7 @@ func benchInvokePath(b *testing.B, handle bool) {
 	}
 }
 
-// BenchmarkStringInject: per-call string resolution (deprecated path).
+// BenchmarkStringInject: per-call string resolution (Channel.Handle).
 func BenchmarkStringInject(b *testing.B) { benchInvokePath(b, false) }
 
 // BenchmarkFuncCall: bind-once/call-many handle path.

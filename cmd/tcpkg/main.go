@@ -1,14 +1,19 @@
-// Command tcpkg is the Two-Chains package build tool (paper §IV): it takes
-// a source directory of canonically named elements — jam_NAME.amc files
-// (mobile active message functions) and ried_NAME.rdc files (relocatable
-// interface distributions) — and produces an installable package file
-// containing the transformed jams, the linked rieds, and the Local
-// Function shared library.
+// Command tcpkg is the Two-Chains package tool (paper §IV). It builds
+// installable package files from source directories of canonically
+// named elements — jam_NAME.amc files (mobile active message
+// functions) and ried_NAME.rdc files (relocatable interface
+// distributions) — and it lists and inspects the application packages
+// registered in-tree via the tcapp authoring layer (tcbench, kvstore,
+// histo, ...), printing their elements, exported namespaces, and frame
+// sizes.
 //
 // Usage:
 //
+//	tcpkg list
 //	tcpkg build -name mypkg -src ./src/mypkg -o mypkg.tcpkg
-//	tcpkg inspect mypkg.tcpkg
+//	tcpkg inspect mypkg.tcpkg      (a built package file)
+//	tcpkg inspect kvstore          (a tcapp-registered app)
+//	tcpkg gensrc -dir DIR
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"twochains/internal/core"
+	"twochains/internal/tcapp"
 )
 
 func main() {
@@ -26,6 +33,8 @@ func main() {
 		usage()
 	}
 	switch os.Args[1] {
+	case "list":
+		list()
 	case "build":
 		build(os.Args[2:])
 	case "inspect":
@@ -39,10 +48,43 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
+  tcpkg list                      (registered application packages)
   tcpkg build -name NAME -src DIR [-o FILE]
-  tcpkg inspect FILE
-  tcpkg gensrc -dir DIR    (write the canonical tcbench sources)`)
+  tcpkg inspect FILE-or-APPNAME
+  tcpkg gensrc -dir DIR           (write the canonical tcbench sources)`)
 	os.Exit(2)
+}
+
+// list builds every registered app and prints a one-line summary each.
+func list() {
+	for _, name := range tcapp.Names() {
+		app, _ := tcapp.Lookup(name)
+		pkg, err := app.Build()
+		if err != nil {
+			fmt.Printf("%-10s BUILD ERROR: %v\n", name, err)
+			continue
+		}
+		jams, rieds := 0, 0
+		maxFrame := 0
+		for _, e := range pkg.Elements {
+			switch e.Kind {
+			case core.ElemJam:
+				jams++
+				if n, err := core.InjectedFrameLen(e, 0); err == nil && n > maxFrame {
+					maxFrame = n
+				}
+			case core.ElemRied:
+				rieds++
+			}
+		}
+		oracle := " "
+		if app.NewOracle != nil {
+			oracle = "*"
+		}
+		fmt.Printf("%-10s %d jams, %d rieds, max frame %4dB %s %s\n",
+			name, jams, rieds, maxFrame, oracle, app.Doc)
+	}
+	fmt.Println("(* = ships a native oracle; frame sizes are zero-payload injected frames)")
 }
 
 // gensrc writes the benchmark package sources to a directory, so the full
@@ -122,11 +164,28 @@ func build(args []string) {
 	describe(pkg)
 }
 
+// inspect describes a built package file, or — when the argument names
+// a tcapp-registered app instead of a file — a freshly built registry
+// package.
 func inspect(args []string) {
 	if len(args) != 1 {
 		usage()
 	}
-	data, err := os.ReadFile(args[0])
+	arg := args[0]
+	if _, statErr := os.Stat(arg); statErr != nil {
+		if app, ok := tcapp.Lookup(arg); ok {
+			pkg, err := app.Build()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("package %s (tcapp registry)  %s\n", pkg.Name, app.Doc)
+			describe(pkg)
+			return
+		}
+		fatal(fmt.Errorf("%s is neither a readable file nor a registered app (registered: %v)",
+			arg, tcapp.Names()))
+	}
+	data, err := os.ReadFile(arg)
 	if err != nil {
 		fatal(err)
 	}
@@ -142,11 +201,17 @@ func describe(pkg *core.Package) {
 	for _, e := range pkg.Elements {
 		switch e.Kind {
 		case core.ElemJam:
-			fmt.Printf("  jam  %-24s id=%d shipped=%dB got=%d externs=%v\n",
-				e.Name, e.ID, e.Jam.ShippedSize(), len(e.Jam.Got), e.Jam.Externs())
+			frame, _ := core.InjectedFrameLen(e, 0)
+			fmt.Printf("  jam  %-24s id=%d shipped=%dB frame>=%dB got=%d externs=%v\n",
+				e.Name, e.ID, e.Jam.ShippedSize(), frame, len(e.Jam.Got), e.Jam.Externs())
 		case core.ElemRied:
-			fmt.Printf("  ried %-24s id=%d image=%dB exports=%d externs=%v\n",
-				e.Name, e.ID, e.Ried.TotalSize, len(e.Ried.Exports), e.Ried.Externs())
+			names := make([]string, 0, len(e.Ried.Exports))
+			for _, s := range e.Ried.Exports {
+				names = append(names, s.Name)
+			}
+			sort.Strings(names)
+			fmt.Printf("  ried %-24s id=%d image=%dB namespace=%v\n",
+				e.Name, e.ID, e.Ried.TotalSize, names)
 		}
 	}
 	if pkg.LocalLib != nil {

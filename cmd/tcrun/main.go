@@ -1,11 +1,13 @@
-// Command tcrun loads a built package onto a simulated two-node system
-// and invokes one of its jams — the fastest way to smoke-test a package
-// from the shell before deploying it to a cluster.
+// Command tcrun loads a package onto a simulated two-node system and
+// invokes one of its jams — the fastest way to smoke-test a package
+// from the shell before deploying it to a cluster. The package comes
+// from a built file (-pkg) or straight from the tcapp registry (-app).
 //
 // Usage:
 //
 //	tcrun -pkg tcbench.tcpkg -jam jam_sssum -payload 64
 //	tcrun -pkg tcbench.tcpkg -jam jam_iput -arg0 42 -payload 256 -injected
+//	tcrun -app kvstore -jam kv_put -arg0 7 -arg1 21
 //
 // With -injected the jam takes the full injection path: packed into a
 // frame, GOT table bound by the sender, delivered through the simulated
@@ -24,12 +26,14 @@ import (
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
 	"twochains/internal/tc"
+	"twochains/internal/tcapp"
 )
 
 func main() {
 	var (
 		pkgFile  = flag.String("pkg", "", "package file (from tcpkg build)")
-		jam      = flag.String("jam", "", "jam element to run")
+		appName  = flag.String("app", "", "tcapp-registered application (alternative to -pkg)")
+		jam      = flag.String("jam", "", "jam element to run (the jam_ prefix may be omitted)")
 		arg0     = flag.Uint64("arg0", 1, "first argument word")
 		arg1     = flag.Uint64("arg1", 0, "second argument word")
 		payload  = flag.Int("payload", 64, "payload size in bytes (patterned)")
@@ -37,20 +41,30 @@ func main() {
 		backend  = flag.String("backend", "", "fabric backend (default simnet)")
 	)
 	flag.Parse()
-	if *pkgFile == "" || *jam == "" {
-		fmt.Fprintln(os.Stderr, "usage: tcrun -pkg FILE -jam NAME [-arg0 N] [-arg1 N] [-payload N] [-injected=false]")
+	if (*pkgFile == "") == (*appName == "") || *jam == "" {
+		fmt.Fprintln(os.Stderr, "usage: tcrun {-pkg FILE | -app NAME} -jam NAME [-arg0 N] [-arg1 N] [-payload N] [-injected=false]")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*pkgFile)
-	if err != nil {
-		fatal(err)
-	}
-	pkg, err := core.DecodePackage(data)
-	if err != nil {
-		fatal(err)
+	var pkg *core.Package
+	if *appName != "" {
+		var err error
+		if pkg, err = tcapp.Build(*appName); err != nil {
+			fatal(err)
+		}
+	} else {
+		data, err := os.ReadFile(*pkgFile)
+		if err != nil {
+			fatal(err)
+		}
+		if pkg, err = core.DecodePackage(data); err != nil {
+			fatal(err)
+		}
 	}
 	if _, ok := pkg.Element(*jam); !ok {
-		fatal(fmt.Errorf("no element %q in package %s", *jam, pkg.Name))
+		if _, ok := pkg.Element("jam_" + *jam); !ok {
+			fatal(fmt.Errorf("no element %q in package %s", *jam, pkg.Name))
+		}
+		*jam = "jam_" + *jam
 	}
 
 	usr := make([]byte, *payload)
@@ -60,9 +74,10 @@ func main() {
 	frame := 64
 	for _, e := range pkg.Elements {
 		if e.Kind == core.ElemJam {
-			need := mailbox.HeaderSize + mailbox.PreSize + e.Jam.ShippedSize() +
-				mailbox.ArgsSize + len(usr) + mailbox.SigSize
-			need = (need + 63) / 64 * 64
+			need, err := core.InjectedFrameLen(e, len(usr))
+			if err != nil {
+				fatal(err)
+			}
 			if need > frame {
 				frame = need
 			}

@@ -18,9 +18,9 @@ import (
 // next send re-binds through the jam cache, exactly as a fresh string
 // lookup would.
 //
-// Bound is the engine under both the deprecated string-based Channel
-// methods (which resolve a cached handle per call) and the tc.Func public
-// API (which holds one handle per destination).
+// Bound is the channel-level invocation surface (resolved by string via
+// Channel.Handle) and the engine under the tc.Func public API (which
+// holds one handle per destination).
 type Bound struct {
 	ch                *Channel
 	pkgName, elemName string
@@ -40,6 +40,10 @@ type Bound struct {
 	// sends: SendBatch never retains the slice (stalled messages are
 	// queued individually), so one per-handle buffer serves every burst.
 	burstScratch []*mailbox.Message
+
+	// injectCnt counts single injects through this handle for the
+	// auto-switch heuristic (ChannelOptions.AutoSwitchAfter).
+	injectCnt int
 }
 
 // Bind returns this channel's handle for the element, performing the
@@ -54,8 +58,8 @@ func (ch *Channel) Bind(pkgName, elemName string) (*Bound, error) {
 }
 
 // Handle returns the cached per-channel handle without forcing a bind:
-// the deprecated string methods use it so their per-call error semantics
-// (lazy, per-path) stay exactly as before.
+// error semantics stay lazy and per-path (an inject bind failure does
+// not poison Local Function sends through the same handle).
 func (ch *Channel) Handle(pkgName, elemName string) *Bound {
 	key := [2]string{pkgName, elemName}
 	if b, ok := ch.bounds[key]; ok {
@@ -152,12 +156,42 @@ func (b *Bound) burstMsgs(n int) []*mailbox.Message {
 // drives with its prebound future callbacks. The Result-typed methods
 // wrap it for callers that want the higher-level Result.
 
+// takeAutoSwitch counts one single inject through the handle and reports
+// whether the auto-switch policy (ChannelOptions.AutoSwitchAfter, the
+// paper's §VIII future-work optimization) downgrades it to a Local
+// Function call: the function has reoccurred often enough and the
+// receiver is known to hold the package, so shipping its code again is
+// waste. Bursts never auto-switch — they are an explicit bulk-injection
+// choice.
+func (b *Bound) takeAutoSwitch() bool {
+	after := b.ch.Opts.AutoSwitchAfter
+	if after <= 0 {
+		return false
+	}
+	b.injectCnt++
+	if b.injectCnt <= after {
+		return false
+	}
+	_, ok := b.ch.Dst.Package(b.pkgName)
+	return ok
+}
+
 // InjectInfo sends one Injected Function active message, reporting
-// completion through the mailbox-level SendInfo callback.
+// completion through the mailbox-level SendInfo callback. An
+// auto-switched call goes out as a Local Function message instead.
 func (b *Bound) InjectInfo(args [2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
 	if err := b.checkUp(); err != nil {
 		return err
 	}
+	if b.takeAutoSwitch() {
+		return b.callLocalRaw(args, usr, done)
+	}
+	return b.injectRaw(args, usr, done)
+}
+
+// injectRaw is the post-policy injected send: bind if stale, fill a
+// pooled frame, hand it to the sender.
+func (b *Bound) injectRaw(args [2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
 	if err := b.ensureInject(); err != nil {
 		return err
 	}
@@ -196,6 +230,12 @@ func (b *Bound) CallLocalInfo(args [2]uint64, usr []byte, done func(mailbox.Send
 	if err := b.checkUp(); err != nil {
 		return err
 	}
+	return b.callLocalRaw(args, usr, done)
+}
+
+// callLocalRaw is the post-check local send shared with the auto-switch
+// downgrade path.
+func (b *Bound) callLocalRaw(args [2]uint64, usr []byte, done func(mailbox.SendInfo)) error {
 	if err := b.ensureLocal(); err != nil {
 		return err
 	}
@@ -228,9 +268,17 @@ func (b *Bound) CallLocalBurstInfo(argsBatch [][2]uint64, usr []byte, done func(
 }
 
 // Inject sends one Injected Function active message through the handle:
-// the pre-bound code travels in the frame and executes on arrival.
+// the pre-bound code travels in the frame and executes on arrival. An
+// auto-switched call goes out — and reports its Result — as a Local
+// Function message instead.
 func (b *Bound) Inject(args [2]uint64, usr []byte, done func(Result)) error {
-	return b.InjectInfo(args, usr, wrapDone(done, true))
+	if err := b.checkUp(); err != nil {
+		return err
+	}
+	if b.takeAutoSwitch() {
+		return b.callLocalRaw(args, usr, wrapDone(done, false))
+	}
+	return b.injectRaw(args, usr, wrapDone(done, true))
 }
 
 // InjectBurst sends one Injected Function message per args entry as a

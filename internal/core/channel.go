@@ -12,8 +12,9 @@ type ChannelOptions struct {
 	Sender mailbox.SenderConfig
 	// AutoSwitchAfter, when positive, enables the paper's future-work
 	// optimization (§VIII): after an element has been injected that many
-	// times, the channel detects the reoccurring function and switches to
-	// Local Function invocation, shrinking the message.
+	// times through a handle, the handle detects the reoccurring function
+	// and switches to Local Function invocation, shrinking the message
+	// (single sends only; bursts are an explicit bulk-injection choice).
 	AutoSwitchAfter int
 }
 
@@ -36,11 +37,9 @@ type Channel struct {
 	remoteFP    uint64
 
 	// bounds caches this channel's pre-resolved handles, one per element
-	// (see Bound); the deprecated string methods resolve through it. Keys
-	// are (pkg, elem) pairs, not built strings, so a cache hit performs no
-	// allocation.
-	bounds    map[[2]string]*Bound
-	injectCnt map[[2]string]int
+	// (see Bound). Keys are (pkg, elem) pairs, not built strings, so a
+	// cache hit performs no allocation.
+	bounds map[[2]string]*Bound
 }
 
 // preparedJam is a jam with its extern GOT entries bound to receiver VAs.
@@ -94,13 +93,12 @@ func connectTo(src, dst *Node, recv *mailbox.Receiver, opts ChannelOptions, name
 		return nil, err
 	}
 	ch := &Channel{
-		Src:       src,
-		Dst:       dst,
-		Recv:      recv,
-		Sender:    snd,
-		Opts:      opts,
-		bounds:    map[[2]string]*Bound{},
-		injectCnt: map[[2]string]int{},
+		Src:    src,
+		Dst:    dst,
+		Recv:   recv,
+		Sender: snd,
+		Opts:   opts,
+		bounds: map[[2]string]*Bound{},
 	}
 	if opts.Sender.Credits {
 		recv.SetCreditReturn(dst.Worker.Connect(src.Worker), snd.CreditVA, snd.CreditMem.Key)
@@ -142,55 +140,6 @@ type Result struct {
 	// Injected records which invocation method was actually used (the
 	// auto-switch optimization may downgrade an inject to a local call).
 	Injected bool
-}
-
-// Inject sends the named jam as an Injected Function active message: the
-// function's code travels in the frame and executes on arrival. args are
-// the header argument words; usr is the data payload.
-//
-// Deprecated: resolve a handle once with Bind (or use tc.Func) and call
-// it many times; this wrapper re-resolves the handle cache per call.
-func (ch *Channel) Inject(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
-	if ch.Opts.AutoSwitchAfter > 0 {
-		key := [2]string{pkgName, elemName}
-		ch.injectCnt[key]++
-		if ch.injectCnt[key] > ch.Opts.AutoSwitchAfter {
-			// Reoccurring function: switch to local invocation if the
-			// receiver has the package installed.
-			if _, ok := ch.Dst.Package(pkgName); ok {
-				return ch.CallLocal(pkgName, elemName, args, usr, done)
-			}
-		}
-	}
-	return ch.Handle(pkgName, elemName).Inject(args, usr, done)
-}
-
-// InjectBurst sends one Injected Function message per args entry in a
-// single batched operation. Bursts bypass the auto-switch heuristic (they
-// are an explicit bulk-injection choice).
-//
-// Deprecated: resolve a handle once with Bind (or use tc.Func with the
-// tc.Burst option) and call it many times.
-func (ch *Channel) InjectBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	return ch.Handle(pkgName, elemName).InjectBurst(argsBatch, usr, done)
-}
-
-// CallLocalBurst sends one Local Function message per args entry as a
-// batch, coalescing contiguous frames like InjectBurst.
-//
-// Deprecated: resolve a handle once with Bind (or use tc.Func with the
-// tc.Local and tc.Burst options) and call it many times.
-func (ch *Channel) CallLocalBurst(pkgName, elemName string, argsBatch [][2]uint64, usr []byte, done func(Result)) error {
-	return ch.Handle(pkgName, elemName).CallLocalBurst(argsBatch, usr, done)
-}
-
-// CallLocal sends a Local Function active message: only IDs and payload
-// travel; the receiver calls its library copy of the function.
-//
-// Deprecated: resolve a handle once with Bind (or use tc.Func with the
-// tc.Local option) and call it many times.
-func (ch *Channel) CallLocal(pkgName, elemName string, args [2]uint64, usr []byte, done func(Result)) error {
-	return ch.Handle(pkgName, elemName).CallLocal(args, usr, done)
 }
 
 // SendData sends a delivery-only frame (the without-execution mode used by

@@ -137,7 +137,7 @@ func TestInjectedSSSum(t *testing.T) {
 		}
 		ret = r
 	}
-	if err := bn.ab.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+	if err := bn.ab.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 		t.Fatal(err)
 	}
 	bn.c.Run()
@@ -177,9 +177,9 @@ func TestLocalMatchesInjected(t *testing.T) {
 			}
 			var err error
 			if local {
-				err = bn.ab.CallLocal("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+				err = bn.ab.Handle("tcbench", "jam_sssum").CallLocal([2]uint64{}, payload, nil)
 			} else {
-				err = bn.ab.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+				err = bn.ab.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil)
 			}
 			if err != nil {
 				t.Fatal(err)
@@ -206,7 +206,7 @@ func TestIndirectPut(t *testing.T) {
 	}
 	// Same key twice, then a different key.
 	for _, key := range []uint64{42, 42, 99} {
-		if err := bn.ab.Inject("tcbench", "jam_iput", [2]uint64{key, 0}, payload, nil); err != nil {
+		if err := bn.ab.Handle("tcbench", "jam_iput").Inject([2]uint64{key, 0}, payload, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -239,7 +239,7 @@ func TestIndirectPut(t *testing.T) {
 
 func TestJamHelloPrintfWithTravellingRodata(t *testing.T) {
 	bn := newBench(t, 1024, quickCfg(), ChannelOptions{})
-	if err := bn.ab.Inject("tcbench", "jam_hello", [2]uint64{7, 0}, []byte("xyz"), nil); err != nil {
+	if err := bn.ab.Handle("tcbench", "jam_hello").Inject([2]uint64{7, 0}, []byte("xyz"), nil); err != nil {
 		t.Fatal(err)
 	}
 	bn.c.Run()
@@ -270,7 +270,7 @@ func TestInjectMissingSymbolFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = ch.Inject("tcbench", "jam_iput", [2]uint64{1, 0}, nil, nil)
+	err = ch.Handle("tcbench", "jam_iput").Inject([2]uint64{1, 0}, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "tc_") {
 		t.Fatalf("inject without ried: %v", err)
 	}
@@ -280,7 +280,7 @@ func TestAutoSwitchToLocal(t *testing.T) {
 	bn := newBench(t, 1024, quickCfg(), ChannelOptions{AutoSwitchAfter: 2})
 	var kinds []bool
 	for i := 0; i < 5; i++ {
-		err := bn.ab.Inject("tcbench", "jam_sssum", [2]uint64{}, []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		err := bn.ab.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, []byte{1, 2, 3, 4, 5, 6, 7, 8},
 			func(r Result) { kinds = append(kinds, r.Injected) })
 		if err != nil {
 			t.Fatal(err)
@@ -313,7 +313,7 @@ func TestSecureExecMode(t *testing.T) {
 	var ret uint64
 	var execErr error
 	bn.b.OnExecuted = func(r uint64, _ sim.Duration, err error) { ret, execErr = r, err }
-	if err := bn.ab.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+	if err := bn.ab.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 		t.Fatal(err)
 	}
 	bn.c.Run()
@@ -408,10 +408,10 @@ jam_scaled:
 	}
 	// The same jam, injected to two processes, resolves tc_scale
 	// differently on each.
-	if err := chB.Inject("scaled", "jam_scaled", [2]uint64{5, 0}, nil, nil); err != nil {
+	if err := chB.Handle("scaled", "jam_scaled").Inject([2]uint64{5, 0}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := chC.Inject("scaled", "jam_scaled", [2]uint64{5, 0}, nil, nil); err != nil {
+	if err := chC.Handle("scaled", "jam_scaled").Inject([2]uint64{5, 0}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
@@ -477,7 +477,7 @@ tc_op:
 		}
 		results = append(results, r)
 	}
-	if err := ch.Inject("ops", "jam_op", [2]uint64{10, 0}, nil, nil); err != nil {
+	if err := ch.Handle("ops", "jam_op").Inject([2]uint64{10, 0}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
@@ -493,7 +493,7 @@ tc_op:
 	}
 	ch.RefreshNames()
 
-	if err := ch.Inject("ops", "jam_op", [2]uint64{10, 0}, nil, nil); err != nil {
+	if err := ch.Handle("ops", "jam_op").Inject([2]uint64{10, 0}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
@@ -513,7 +513,7 @@ func TestTimingPathProducesCosts(t *testing.T) {
 		}
 		cost = c
 	}
-	if err := bn.ab.Inject("tcbench", "jam_iput", [2]uint64{7, 0}, make([]byte, 256), nil); err != nil {
+	if err := bn.ab.Handle("tcbench", "jam_iput").Inject([2]uint64{7, 0}, make([]byte, 256), nil); err != nil {
 		t.Fatal(err)
 	}
 	bn.c.Run()

@@ -80,7 +80,7 @@ func TestCJamMatchesAsmSemantics(t *testing.T) {
 	}
 	payload := []byte("C-compiled indirect put payload")
 	for _, key := range []uint64{7, 7, 1234, 7} {
-		if err := ch.Inject("tcbench", "jam_ciput", [2]uint64{key, 0}, payload, nil); err != nil {
+		if err := ch.Handle("tcbench", "jam_ciput").Inject([2]uint64{key, 0}, payload, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -146,9 +146,9 @@ func TestLocalInjectedEquivalenceProperty(t *testing.T) {
 			ret = r
 		}
 		if local {
-			err = ch.CallLocal("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+			err = ch.Handle("tcbench", "jam_sssum").CallLocal([2]uint64{}, payload, nil)
 		} else {
-			err = ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil)
+			err = ch.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil)
 		}
 		if err != nil {
 			return 0, false
@@ -217,10 +217,10 @@ jam_fine:
 		}
 		rets = append(rets, r)
 	}
-	if err := ch.Inject("crashy", "jam_crash", [2]uint64{}, nil, nil); err != nil {
+	if err := ch.Handle("crashy", "jam_crash").Inject([2]uint64{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ch.Inject("crashy", "jam_fine", [2]uint64{}, nil, nil); err != nil {
+	if err := ch.Handle("crashy", "jam_fine").Inject([2]uint64{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
@@ -267,7 +267,7 @@ func TestRunawayJamIsBounded(t *testing.T) {
 	}
 	var execErr error
 	b.OnExecuted = func(_ uint64, _ sim.Duration, err error) { execErr = err }
-	if err := ch.Inject("spin", "jam_spin", [2]uint64{}, nil, nil); err != nil {
+	if err := ch.Handle("spin", "jam_spin").Inject([2]uint64{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
@@ -328,7 +328,7 @@ func TestMeshFanoutNativeOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -369,10 +369,10 @@ func TestMeshAllToAllNativeOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 				t.Fatal(err)
 			}
-			if err := ch.CallLocal("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_sssum").CallLocal([2]uint64{}, payload, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -408,7 +408,7 @@ func TestMeshHotspotHotSwapOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, k := range keys {
-			if err := ch.Inject("tcbench", "jam_iput", [2]uint64{k, 0}, payload, nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_iput").Inject([2]uint64{k, 0}, payload, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -421,7 +421,7 @@ func TestMeshHotspotHotSwapOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := bg.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+			if err := bg.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -512,7 +512,7 @@ func TestDeterministicRuns(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 30; i++ {
-			if err := ch.Inject("tcbench", "jam_iput", [2]uint64{uint64(i + 1), 0}, make([]byte, 64), nil); err != nil {
+			if err := ch.Handle("tcbench", "jam_iput").Inject([2]uint64{uint64(i + 1), 0}, make([]byte, 64), nil); err != nil {
 				t.Fatal(err)
 			}
 		}

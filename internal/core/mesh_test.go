@@ -55,7 +55,7 @@ func TestMeshJamCacheSharedAcrossChannels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ch.Inject("tcbench", "jam_sssum", [2]uint64{}, payload, nil); err != nil {
+		if err := ch.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, payload, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,7 +103,7 @@ func TestMeshManySendersOneReceiver(t *testing.T) {
 			t.Fatal(err)
 		}
 		args := make([][2]uint64, perSender)
-		if err := ch.InjectBurst("tcbench", "jam_sssum", args, payload, nil); err != nil {
+		if err := ch.Handle("tcbench", "jam_sssum").InjectBurst(args, payload, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -148,7 +148,7 @@ func TestMeshCrossShardSlower(t *testing.T) {
 			t.Fatal(err)
 		}
 		var done sim.Time
-		err = ch.Inject("tcbench", "jam_sssum", [2]uint64{}, make([]byte, 64), func(r Result) {
+		err = ch.Handle("tcbench", "jam_sssum").Inject([2]uint64{}, make([]byte, 64), func(r Result) {
 			done = r.Delivered
 		})
 		if err != nil {

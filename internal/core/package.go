@@ -21,6 +21,7 @@ import (
 	"twochains/internal/asm"
 	"twochains/internal/elfobj"
 	"twochains/internal/linker"
+	"twochains/internal/mailbox"
 )
 
 // ElementKind distinguishes the two chains.
@@ -167,6 +168,22 @@ func BuildPackage(name string, sources map[string]string) (*Package, error) {
 		pkg.LocalLib = lib
 	}
 	return pkg, nil
+}
+
+// InjectedFrameLen reports the mailbox frame size (64-byte granular) an
+// Injected Function send of the jam with a usrLen-byte payload
+// occupies — what deployments use to size mailbox geometry for an
+// element.
+func InjectedFrameLen(e *Element, usrLen int) (int, error) {
+	if e.Kind != ElemJam {
+		return 0, fmt.Errorf("core: %s is a %s, not a jam", e.Name, e.Kind)
+	}
+	m := &mailbox.Message{
+		Kind:     mailbox.KindInjected,
+		JamImage: make([]byte, e.Jam.ShippedSize()),
+		Usr:      make([]byte, usrLen),
+	}
+	return m.WireLen(), nil
 }
 
 // PackageMagic identifies a serialized package ("TCPK").

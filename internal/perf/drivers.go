@@ -181,7 +181,9 @@ func buildRig(cfg RunConfig, geom mailbox.Geometry, credits bool) (*rig, error) 
 }
 
 // send issues one benchmark message in the given direction through the
-// pre-resolved handle.
+// pre-resolved handle. The auto-switch heuristic, when configured, is a
+// policy of the handle itself (core.Bound), so the ablation measures the
+// same call path with and without it.
 func (r *rig) send(fn *tc.Func, ch *core.Channel, dst, i int) error {
 	switch r.cfg.Kind {
 	case WkData:
@@ -190,11 +192,6 @@ func (r *rig) send(fn *tc.Func, ch *core.Channel, dst, i int) error {
 	case WkLocal:
 		return fn.Call(dst, [2]uint64{r.cfg.KeyFn(i), 0}, tc.Local(), tc.Payload(r.payload)).IssueErr()
 	default:
-		if r.cfg.AutoSwitchAfter > 0 {
-			// The auto-switch heuristic is a policy of the string-based
-			// channel path; its ablation measures exactly that path.
-			return ch.Inject("tcbench", r.cfg.Elem, [2]uint64{r.cfg.KeyFn(i), 0}, r.payload, nil)
-		}
 		return fn.Call(dst, [2]uint64{r.cfg.KeyFn(i), 0}, tc.Payload(r.payload)).IssueErr()
 	}
 }

@@ -265,7 +265,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	for _, extra := range []string{"sssum-conv", "ablate-frames", "ablate-order",
-		"ablate-got", "ablate-autoswitch", "ablate-banks", "ablate-secexec"} {
+		"ablate-got", "ablate-autoswitch", "ablate-banks", "ablate-secexec",
+		"mesh", "scenarios"} {
 		if !names[extra] {
 			t.Errorf("%s not registered", extra)
 		}

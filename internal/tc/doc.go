@@ -32,18 +32,16 @@
 //	sys.Run()
 //
 // Locality, bursting, and payload are call options on the one Call
-// method, replacing the legacy four-method quartet:
+// method:
 //
-//	legacy (deprecated)                       handle-based
-//	-----------------------------------       ------------------------------------------
-//	ch.Inject(pkg, el, args, usr, cb)         fn.Call(dst, args, tc.Payload(usr))
-//	ch.InjectBurst(pkg, el, batch, usr, cb)   fn.Call(dst, batch[0], tc.Burst(batch), tc.Payload(usr))
-//	ch.CallLocal(pkg, el, args, usr, cb)      fn.Call(dst, args, tc.Local(), tc.Payload(usr))
-//	ch.CallLocalBurst(pkg, el, batch, ...)    fn.Call(dst, batch[0], tc.Local(), tc.Burst(batch), ...)
+//	fn.Call(dst, args, tc.Payload(usr))                        // Injected Function
+//	fn.Call(dst, batch[0], tc.Burst(batch), tc.Payload(usr))   // batched injection
+//	fn.Call(dst, args, tc.Local(), tc.Payload(usr))            // Local Function
 //
-// The legacy string-based Channel methods remain as thin wrappers over
-// the same handle machinery, with equivalence tests pinning identical
-// digests and simulated times for fixed seeds.
+// (The string-based Channel.Inject/CallLocal quartet that predated this
+// API is gone; the channel-level surface is core.Bound, reached via
+// Channel.Handle, and equivalence tests pin identical digests and
+// simulated times between the two layers for fixed seeds.)
 //
 // # Futures
 //

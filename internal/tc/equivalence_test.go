@@ -17,9 +17,10 @@ type trafficResult struct {
 
 // runTraffic drives an identical mixed workload — inject singles, inject
 // bursts, local singles, local bursts, plus a RIED hot-swap phase —
-// through either the deprecated string-based Channel methods or the
-// handle-based Func/Call API, on identically seeded systems. The two
-// paths must be indistinguishable: same digests, same simulated times.
+// through either the channel-level core.Bound handles (resolved by
+// string per call via Channel.Handle) or the system-level Func/Call API,
+// on identically seeded systems. The two surfaces must be
+// indistinguishable: same digests, same simulated times.
 func runTraffic(t *testing.T, legacy bool) trafficResult {
 	t.Helper()
 	const nodes = 4
@@ -62,10 +63,10 @@ func runTraffic(t *testing.T, legacy bool) trafficResult {
 					if err != nil {
 						t.Fatal(err)
 					}
-					must(t, ch.Inject("tcbench", "jam_iput", [2]uint64{5, 0}, payload, nil))
-					must(t, ch.InjectBurst("tcbench", "jam_sssum", batch, payload, nil))
-					must(t, ch.CallLocal("tcbench", "jam_sssum", [2]uint64{1, 0}, payload, nil))
-					must(t, ch.CallLocalBurst("tcbench", "jam_iput", batch, payload, nil))
+					must(t, ch.Handle("tcbench", "jam_iput").Inject([2]uint64{5, 0}, payload, nil))
+					must(t, ch.Handle("tcbench", "jam_sssum").InjectBurst(batch, payload, nil))
+					must(t, ch.Handle("tcbench", "jam_sssum").CallLocal([2]uint64{1, 0}, payload, nil))
+					must(t, ch.Handle("tcbench", "jam_iput").CallLocalBurst(batch, payload, nil))
 				} else {
 					iput, err := sys.Func(src, "tcbench", "jam_iput")
 					if err != nil {
@@ -108,8 +109,8 @@ func runTraffic(t *testing.T, legacy bool) trafficResult {
 		if err != nil {
 			t.Fatal(err)
 		}
-		must(t, ch.Inject("tcbench", "jam_iput", [2]uint64{7, 0}, payload, nil))
-		must(t, ch.InjectBurst("tcbench", "jam_iput", batch, payload, nil))
+		must(t, ch.Handle("tcbench", "jam_iput").Inject([2]uint64{7, 0}, payload, nil))
+		must(t, ch.Handle("tcbench", "jam_iput").InjectBurst(batch, payload, nil))
 	} else {
 		iput, err := sys.Func(0, "tcbench", "jam_iput")
 		if err != nil {
@@ -142,10 +143,10 @@ func mustFu(t *testing.T, fu *Future) {
 }
 
 // TestLegacyHandleEquivalence pins the acceptance criterion of the API
-// redesign: the deprecated string-based quartet and the handle-based
-// Call path produce identical digests and identical simulated times for
-// a fixed seed — the handle machinery changes resolution cost, never
-// wire behaviour.
+// redesign: the channel-level Bound quartet and the handle-based Call
+// path produce identical digests and identical simulated times for a
+// fixed seed — the Func machinery changes resolution cost, never wire
+// behaviour.
 func TestLegacyHandleEquivalence(t *testing.T) {
 	legacy := runTraffic(t, true)
 	handle := runTraffic(t, false)

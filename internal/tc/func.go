@@ -192,7 +192,10 @@ type Result struct {
 	// Delivered is the latest receiver-side delivery time. Handler
 	// execution happens after delivery; observe it via Node.OnExecuted.
 	Delivered sim.Time
-	// Injected records the invocation method actually used.
+	// Injected records the invocation method the call requested. (Under
+	// the core.ChannelOptions.AutoSwitchAfter ablation a reoccurring
+	// single inject may be downgraded to Local Function on the wire;
+	// the flag still reports the requested method.)
 	Injected bool
 }
 

@@ -1,0 +1,290 @@
+package tcapp_test
+
+import (
+	"strings"
+	"testing"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+	"twochains/internal/tc"
+	"twochains/internal/tcapp"
+)
+
+// TestRegistryShape: the in-tree apps are registered and build.
+func TestRegistryShape(t *testing.T) {
+	names := tcapp.Names()
+	for _, want := range []string{"histo", "kvstore", "tcbench"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("app %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		pkg, err := tcapp.Build(n)
+		if err != nil {
+			t.Fatalf("build %s: %v", n, err)
+		}
+		if pkg.Name != n {
+			t.Errorf("app %s built package named %s", n, pkg.Name)
+		}
+		if len(pkg.Jams()) == 0 {
+			t.Errorf("app %s has no jams", n)
+		}
+	}
+	if _, err := tcapp.Build("no-such-app"); err == nil {
+		t.Error("unknown app built")
+	}
+}
+
+// TestBuilderCanonicalNames: jam_/ried_ prefixes may be included or
+// omitted; both spell the same canonical element.
+func TestBuilderCanonicalNames(t *testing.T) {
+	src := `
+long jam_echo(long* args, byte* usr, long len) {
+    return args[0];
+}
+`
+	for _, name := range []string{"echo", "jam_echo"} {
+		pkg, err := tcapp.New("echoapp").Func(name, src).Build()
+		if err != nil {
+			t.Fatalf("Func(%q): %v", name, err)
+		}
+		if _, ok := pkg.Element("jam_echo"); !ok {
+			t.Fatalf("Func(%q): no jam_echo element", name)
+		}
+	}
+}
+
+// TestBuilderErrors: recording errors stick and surface at Build with
+// the offending declaration named.
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *tcapp.Builder
+		want string
+	}{
+		{"emptyName", tcapp.New(""), "name is empty"},
+		{"dupFile", tcapp.New("x").Func("a", "long jam_a(long* a, byte* u, long l) { return 0; }").Func("a", "..."), "declared twice"},
+		{"badData", tcapp.New("x").Data("kv keys", 8), "not an identifier"},
+		{"zeroData", tcapp.New("x").Data("k", 0), "non-positive size"},
+		{"noWords", tcapp.New("x").DataWords("k"), "no words"},
+		{"noElements", tcapp.New("x"), "no elements"},
+	}
+	for _, c := range cases {
+		_, err := c.b.Build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	// Duplicate data objects are caught at Build.
+	if _, err := tcapp.New("x").Data("k", 8).Data("k", 8).Build(); err == nil ||
+		!strings.Contains(err.Error(), "declared twice") {
+		t.Errorf("dup data: %v", err)
+	}
+}
+
+// TestDataObjectsExported: Data/DataWords declarations come out as ried
+// exports with the declared sizes and initial values.
+func TestDataObjectsExported(t *testing.T) {
+	pkg, err := tcapp.Build("kvstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ried, ok := pkg.Element("ried_kvstore")
+	if !ok || ried.Kind != core.ElemRied {
+		t.Fatal("no generated ried_kvstore")
+	}
+	for _, sym := range []string{"kv_keys", "kv_vals", "kv_count"} {
+		if _, ok := ried.Ried.FindExport(sym); !ok {
+			t.Errorf("ried_kvstore does not export %s", sym)
+		}
+	}
+}
+
+// appRig is a 2-node system with one app installed and per-execution
+// observation on the server node.
+type appRig struct {
+	sys *tc.System
+	fns map[string]*tc.Func
+}
+
+func newAppRig(t *testing.T, app string, onExec func(ret uint64, err error)) *appRig {
+	t.Helper()
+	pkg, err := tcapp.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size frames for the largest jam at the payload sizes the tests use.
+	frame := 0
+	for _, e := range pkg.Jams() {
+		need, err := core.InjectedFrameLen(e, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if need > frame {
+			frame = need
+		}
+	}
+	sys, err := tc.NewSystem(2,
+		tc.WithTiming(false),
+		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 4, FrameSize: frame}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InstallPackage(pkg); err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(1).OnExecuted = func(ret uint64, _ sim.Duration, err error) { onExec(ret, err) }
+	r := &appRig{sys: sys, fns: map[string]*tc.Func{}}
+	for _, e := range pkg.Jams() {
+		fn, err := sys.Func(0, app, e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.fns[e.Name] = fn
+	}
+	return r
+}
+
+// call sends one element (injected or local) and drains the simulation
+// so executions land in issue order.
+func (r *appRig) call(t *testing.T, elem string, args [2]uint64, usr []byte, local bool) {
+	t.Helper()
+	opts := []tc.CallOpt{tc.Payload(usr)}
+	if local {
+		opts = append(opts, tc.Local())
+	}
+	if _, err := r.fns[elem].Call(1, args, opts...).Await(); err != nil {
+		t.Fatalf("%s: %v", elem, err)
+	}
+	r.sys.Run()
+}
+
+// step is one scripted operation of an oracle equivalence run.
+type step struct {
+	elem string
+	args [2]uint64
+	usr  []byte
+}
+
+// kvScript exercises insert, overwrite, hit, miss, and scans crossing
+// occupied and empty windows.
+func kvScript() []step {
+	var s []step
+	for _, key := range []uint64{7, 99, 7, 4242, 29999, 99} {
+		s = append(s, step{"jam_kv_put", [2]uint64{key, key * 3}, nil})
+	}
+	s = append(s,
+		step{"jam_kv_put", [2]uint64{1000, 0}, nil}, // zero val stores the key
+		step{"jam_kv_get", [2]uint64{7, 0}, nil},
+		step{"jam_kv_get", [2]uint64{1000, 0}, nil},
+		step{"jam_kv_get", [2]uint64{31337, 0}, nil}, // miss
+		step{"jam_kv_scan", [2]uint64{0, 127}, nil},
+		step{"jam_kv_scan", [2]uint64{16380, 20}, nil}, // wrapping window
+	)
+	return s
+}
+
+// histScript mixes payload bucketing with partial reduces.
+func histScript() []step {
+	p1 := []byte("histogram me: aaabbbccc")
+	p2 := make([]byte, 200)
+	for i := range p2 {
+		p2[i] = byte(i * 7)
+	}
+	return []step{
+		{"jam_hist_add", [2]uint64{}, p1},
+		{"jam_hist_sum", [2]uint64{0, 255}, nil},
+		{"jam_hist_add", [2]uint64{}, p2},
+		{"jam_hist_sum", [2]uint64{'a', 4}, nil},
+		{"jam_hist_sum", [2]uint64{250, 10}, nil}, // wrapping window
+	}
+}
+
+// runOracleEquivalence drives the script through the simulated fabric
+// (both invocation methods) and the native oracle, requiring identical
+// return values in execution order.
+func runOracleEquivalence(t *testing.T, app string, script []step, local bool) {
+	t.Helper()
+	a, ok := tcapp.Lookup(app)
+	if !ok || a.NewOracle == nil {
+		t.Fatalf("app %s has no oracle", app)
+	}
+	oracle := a.NewOracle()
+	var got []uint64
+	rig := newAppRig(t, app, func(ret uint64, err error) {
+		if err != nil {
+			t.Errorf("exec: %v", err)
+			return
+		}
+		got = append(got, ret)
+	})
+	for _, s := range script {
+		rig.call(t, s.elem, s.args, s.usr, local)
+	}
+	if len(got) != len(script) {
+		t.Fatalf("executed %d of %d steps", len(got), len(script))
+	}
+	for i, s := range script {
+		want, err := oracle.Apply(s.elem, s.args, s.usr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("step %d (%s%v): fabric returned %d, oracle %d",
+				i, s.elem, s.args, got[i], want)
+		}
+	}
+}
+
+func TestKVStoreOracleInjected(t *testing.T) { runOracleEquivalence(t, "kvstore", kvScript(), false) }
+func TestKVStoreOracleLocal(t *testing.T)    { runOracleEquivalence(t, "kvstore", kvScript(), true) }
+func TestHistoOracleInjected(t *testing.T)   { runOracleEquivalence(t, "histo", histScript(), false) }
+func TestHistoOracleLocal(t *testing.T)      { runOracleEquivalence(t, "histo", histScript(), true) }
+
+// TestTcbenchOracle: the registered tcbench oracle matches the fabric's
+// Server-Side Sum.
+func TestTcbenchOracle(t *testing.T) {
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	runOracleEquivalence(t, "tcbench",
+		[]step{{"jam_sssum", [2]uint64{}, payload}, {"jam_sssum", [2]uint64{}, payload[:13]}},
+		false)
+}
+
+// TestKVProbeCollision: keys engineered to collide probe linearly and
+// stay distinguishable — the jam and the oracle agree slot by slot.
+func TestKVProbeCollision(t *testing.T) {
+	// Find three distinct keys with the same hash by brute force.
+	base := uint64(1)
+	h0 := kvHashMirror(base)
+	keys := []uint64{base}
+	for k := base + 1; len(keys) < 3; k++ {
+		if kvHashMirror(k) == h0 {
+			keys = append(keys, k)
+		}
+	}
+	var script []step
+	for _, k := range keys {
+		script = append(script, step{"jam_kv_put", [2]uint64{k, k + 1}, nil})
+	}
+	for _, k := range keys {
+		script = append(script, step{"jam_kv_get", [2]uint64{k, 0}, nil})
+	}
+	runOracleEquivalence(t, "kvstore", script, false)
+}
+
+// kvHashMirror re-states the kvstore hash for the collision search (the
+// app's own mirror is unexported).
+func kvHashMirror(key uint64) uint64 {
+	h := key * 2654435761
+	return (h ^ (h >> 15)) & 16383
+}

@@ -1,69 +1,152 @@
-// Package workload is the scenario driver: it provisions a sharded
-// many-node tc.System, generates a deterministic traffic plan for one of
-// several patterns, drives batched frame injection through pre-resolved
-// tc.Func handles (one handle per sender and element, bound once per
-// destination), and reports simulated injections/sec plus a run digest.
+// Package workload is the composable scenario driver: it provisions a
+// sharded many-node tc.System, generates a deterministic traffic plan,
+// drives batched frame injection through pre-resolved tc.Func handles
+// (one handle per sender and element, bound once per destination), and
+// reports simulated injections/sec plus a run digest.
 //
-// Patterns:
+// # The Traffic/Phase model
 //
-//   - Fanout: node 0 broadcasts bursts to every other node, round-robin.
-//   - AllToAll: every node bursts to every other node — the densest
-//     channel mesh and the heaviest spine-uplink load.
-//   - Hotspot: skewed traffic where most bursts target one hot node, with
-//     a RIED hot-swap — a RIED is a relocatable interface distribution,
-//     the shared library a process loads to set up interfaces and data
-//     objects — performed on the hot node while traffic is in flight
-//     (the paper's remote-linking dynamic-update path, exercised under
-//     load).
+// A Scenario is data all the way down. Its traffic shape is a Traffic —
+// a deterministic plan generator over a Topology view — selected by
+// registered name, so new shapes are registrations, not forks of this
+// package. The three paper patterns (fanout, alltoall, hotspot) are
+// registered implementations whose plans are bit-identical to the
+// pre-registry driver; golden tests pin their digests and simulated
+// times per seed.
 //
-// Each sender self-clocks: burst k+1 is issued from the completion of
-// burst k, so the fabric runs loaded but bounded. All randomness (element
-// choice, Indirect Put keys, hotspot target and skew) flows from a single
-// sim RNG seeded by Scenario.Seed; two runs with equal scenarios produce
-// bit-identical digests and simulated times.
+// A scenario runs as a sequence of Phases, each with its own traffic,
+// element mix, arrival process, and optional RIED swap (a RIED — a
+// relocatable interface distribution — is the shared library a process
+// loads to set up interfaces and data objects; swapping one mid-run is
+// the paper's remote-linking dynamic update). Phase k+1 opens when
+// every message phase k planned has executed, so warmup -> swap ->
+// drain pipelines are scenario data rather than bespoke driver code. A
+// phaseless scenario is one closed-loop phase of Scenario.Pattern — the
+// legacy surface, unchanged.
+//
+// Mix entries name a package and an element (Pkg + Elem), resolved
+// through the tcapp registry: a phase can mix tcbench Indirect Puts
+// with kvstore puts and histo reduces, and the driver installs every
+// referenced package and sizes mailbox frames for the largest message.
+//
+// # Arrivals
+//
+// Closed-loop (default): each sender self-clocks — burst k+1 is issued
+// from the completion of burst k, so the fabric runs loaded but
+// bounded. Open-loop (Arrival{Kind: Poisson, RatePerSec: r}): each
+// sender's bursts arrive at exponential interarrival gaps drawn at plan
+// time, independent of completions — the offered-load shape, where
+// queueing (credit stalls) is part of the measurement.
+//
+// All randomness — element choice, argument words, hotspot target and
+// skew, arrival gaps — flows from one sim RNG seeded by Scenario.Seed;
+// plans are generated before simulation starts, so equal seeds give
+// bit-identical digests and simulated times for any registered Traffic.
 package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"twochains/internal/core"
-	"twochains/internal/mailbox"
 	"twochains/internal/sim"
 	"twochains/internal/tc"
+	"twochains/internal/tcapp"
 )
 
-// Pattern names a traffic shape.
+// Pattern names a registered traffic shape.
 type Pattern string
 
-// The three built-in traffic patterns.
+// The built-in traffic shapes.
 const (
 	Fanout   Pattern = "fanout"
 	AllToAll Pattern = "alltoall"
 	Hotspot  Pattern = "hotspot"
+	Ring     Pattern = "ring"
 )
 
-// Patterns lists every built-in pattern in canonical order.
+// Patterns lists the three paper patterns in canonical order (the mesh
+// experiments iterate these; TrafficNames lists everything registered,
+// including Ring and third-party shapes).
 func Patterns() []Pattern { return []Pattern{Fanout, AllToAll, Hotspot} }
 
-// ElementMix is one entry of a scenario's traffic mix: a tcbench element
-// with a selection weight, sent either as an Injected Function (code
-// travels) or a Local Function (IDs travel).
+// DefaultPkg is the package a mix entry with an empty Pkg refers to.
+const DefaultPkg = "tcbench"
+
+// ElementMix is one entry of a phase's traffic mix: an element of a
+// tcapp-registered package with a selection weight, sent either as an
+// Injected Function (code travels) or a Local Function (IDs travel).
 type ElementMix struct {
+	// Pkg is the tcapp-registered application package ("" = tcbench).
+	Pkg    string
 	Elem   string
 	Weight int
 	Local  bool
 }
 
+// ArrivalKind selects a phase's arrival process.
+type ArrivalKind uint8
+
+const (
+	// ClosedLoop self-clocks: a sender's next burst is issued from the
+	// completion of its previous one.
+	ClosedLoop ArrivalKind = iota
+	// Poisson issues each sender's bursts at exponential interarrival
+	// gaps (drawn deterministically at plan time), independent of
+	// completions — open-loop offered load.
+	Poisson
+)
+
+// Arrival is a phase's arrival process.
+type Arrival struct {
+	Kind ArrivalKind
+	// RatePerSec is the mean burst arrival rate per sender (Poisson
+	// only), in simulated seconds.
+	RatePerSec float64
+}
+
+// Swap is a remote-linking dynamic update expressed as data: when the
+// owning phase opens, the RIED elements of the named app are
+// re-installed on Node (replacing name bindings) and every channel into
+// it re-runs the namespace exchange. In-flight Func handles re-bind on
+// their next call.
+type Swap struct {
+	Node int
+	// App is the tcapp-registered application whose RIEDs are
+	// reinstalled ("" = tcbench).
+	App string
+}
+
+// Phase is one stage of a scenario. Zero fields inherit the scenario-
+// level value (Traffic from Pattern, Rounds/Burst/Mix/Arrival from the
+// scenario); a phase opens when the previous phase's plan has fully
+// executed.
+type Phase struct {
+	Name    string
+	Traffic string // registered traffic name ("" = Scenario.Pattern)
+	Rounds  int
+	Burst   int
+	Mix     []ElementMix
+	Arrival *Arrival
+	Swap    *Swap
+	// Arg1Random additionally draws the second argument word per message
+	// (value-carrying app workloads use it; the legacy patterns leave
+	// args[1] zero and consume no extra randomness).
+	Arg1Random bool
+}
+
 // Scenario parameterizes one workload run.
 type Scenario struct {
+	// Pattern is the traffic shape of a phaseless scenario, and the
+	// default Traffic of every phase.
 	Pattern Pattern
 	// Nodes is the mesh size; Shards the fabric-shard count (0 = default).
 	Nodes, Shards int
-	// Burst is the messages per batched injection; Rounds the bursts each
-	// sender issues per destination slot of the pattern.
+	// Burst is the messages per batched injection; Rounds the traffic
+	// generator's repetition knob.
 	Burst, Rounds int
 	PayloadBytes  int
-	// Mix is the element mix; empty selects the default mixed workload.
+	// Mix is the default element mix; empty selects DefaultMix.
 	Mix  []ElementMix
 	Seed uint64
 	// Timing enables the cache/CPU cost model (required for meaningful
@@ -72,10 +155,16 @@ type Scenario struct {
 	// HotSkew is the probability a hotspot burst targets the hot node
 	// (0 = default 0.8). Ignored by other patterns.
 	HotSkew float64
-	// DisableSwap turns off the hotspot mid-run RIED hot-swap.
+	// DisableSwap turns off the hotspot pattern's built-in mid-phase
+	// RIED hot-swap (phase-level Swap entries are unaffected).
 	DisableSwap bool
 	// Backend selects the fabric transport ("" = default "simnet").
 	Backend string
+	// Arrival is the default arrival process (closed loop unless set).
+	Arrival Arrival
+	// Phases composes the run; empty means one closed-loop phase of
+	// Pattern.
+	Phases []Phase
 
 	// OnExecuted observes every handler execution (node index, return
 	// value, error) — the hook equivalence tests use to compare injected
@@ -117,6 +206,20 @@ type NodeResult struct {
 	Digest uint64
 }
 
+// PhaseResult is one phase's slice of the run.
+type PhaseResult struct {
+	Name string
+	// Planned is the phase's planned message count; Executed the handler
+	// completions (including faults) attributed to it in plan order.
+	Planned  int
+	Executed int
+	// End is the simulated time the phase's plan finished executing.
+	End sim.Duration
+	// Swapped reports that the phase performed a RIED swap (its own Swap
+	// entry or the hotspot pattern's built-in one).
+	Swapped bool
+}
+
 // Result reports one scenario run.
 type Result struct {
 	Scenario   Scenario
@@ -126,9 +229,10 @@ type Result struct {
 	RatePerSec float64      // simulated injections per simulated second
 	Digest     uint64       // order-insensitive fold of per-node digests
 	PerNode    []NodeResult
+	Phases     []PhaseResult
 	Mesh       core.MeshStats
-	Swapped    bool // hotspot: the mid-run RIED hot-swap fired
-	HotNode    int  // hotspot: the skew target (-1 otherwise)
+	Swapped    bool // a RIED swap fired during the run
+	HotNode    int  // skew target of the last hotspot phase (-1 otherwise)
 }
 
 // burst is one planned batched send.
@@ -137,155 +241,260 @@ type burst struct {
 	mix   ElementMix
 	args  [][2]uint64
 	local bool
+	// at is the open-loop issue offset from phase open (closed loop: 0).
+	at sim.Duration
 }
 
-// plan is the deterministic, pre-generated traffic schedule: one burst
-// queue per sender.
-type plan struct {
-	bursts  [][]burst // indexed by sender
-	sent    []int     // messages addressed per destination
-	total   int
+// phasePlan is one phase's deterministic, pre-generated traffic
+// schedule: one burst queue per sender, plus the phase's planned
+// dynamic updates.
+type phasePlan struct {
+	spec   *phaseSpec
+	bursts [][]burst // indexed by sender
+	sent   []int     // messages addressed per destination
+	total  int
+	// hotNode is the phase's skew target (-1 none).
 	hotNode int
+	// swapNode/swapApp plan the SwapAtHalf trigger (-1 none); the
+	// executed-count threshold is armed when the phase opens, and
+	// swapFired keeps the trigger one-shot independent of any open-time
+	// Swap entry the same phase performed.
+	swapNode    int
+	swapApp     string
+	swapTrigger int
+	swapFired   bool
 }
 
-// buildPlan consumes the RNG in a fixed order (senders ascending, rounds
-// ascending) so the schedule is a pure function of the scenario. mix and
-// wsum are the validated element mix and its total weight from Run.
-func buildPlan(sc Scenario, mix []ElementMix, wsum int, rng *sim.RNG) plan {
-	p := plan{
-		bursts:  make([][]burst, sc.Nodes),
-		sent:    make([]int, sc.Nodes),
-		hotNode: -1,
+// buildPlan runs the phase's Traffic generator, consuming the RNG in
+// the generator's emission order so the schedule is a pure function of
+// the scenario, then draws open-loop arrival gaps (senders ascending).
+func buildPlan(sc *Scenario, topo Topology, spec *phaseSpec, rng *sim.RNG) (*phasePlan, error) {
+	pp := &phasePlan{
+		spec:     spec,
+		bursts:   make([][]burst, topo.Nodes),
+		sent:     make([]int, topo.Nodes),
+		hotNode:  -1,
+		swapNode: -1,
 	}
-	pickMix := func() ElementMix {
-		w := rng.Intn(wsum)
-		for _, m := range mix {
-			w -= m.Weight
-			if w < 0 {
-				return m
-			}
-		}
-		return mix[len(mix)-1]
+	tr, ok := newTraffic(spec.traffic)
+	if !ok {
+		return nil, &ScenarioError{Field: spec.at("Traffic"), Reason: fmt.Sprintf("unknown traffic %q", spec.traffic)}
 	}
-	mkArgs := func() [][2]uint64 {
-		args := make([][2]uint64, sc.Burst)
-		for i := range args {
-			args[i] = [2]uint64{rng.Uint64()%30000 + 1, 0}
-		}
-		return args
+	p := &Planner{topo: topo, sc: sc, spec: spec, rng: rng, pp: pp}
+	if err := tr.Generate(p); err != nil {
+		return nil, err
 	}
-	add := func(src, dst int) {
-		m := pickMix()
-		p.bursts[src] = append(p.bursts[src], burst{dst: dst, mix: m, args: mkArgs(), local: m.Local})
-		p.sent[dst] += sc.Burst
-		p.total += sc.Burst
+	if p.err != nil {
+		return nil, p.err
 	}
-
-	switch sc.Pattern {
-	case Fanout:
-		for r := 0; r < sc.Rounds; r++ {
-			for dst := 1; dst < sc.Nodes; dst++ {
-				add(0, dst)
-			}
-		}
-	case AllToAll:
-		for src := 0; src < sc.Nodes; src++ {
-			for r := 0; r < sc.Rounds; r++ {
-				for dst := 0; dst < sc.Nodes; dst++ {
-					if dst != src {
-						add(src, dst)
-					}
-				}
-			}
-		}
-	case Hotspot:
-		skew := sc.HotSkew
-		if skew <= 0 {
-			skew = 0.8
-		}
-		p.hotNode = rng.Intn(sc.Nodes)
-		for src := 0; src < sc.Nodes; src++ {
-			if src == p.hotNode {
-				continue
-			}
-			for r := 0; r < sc.Rounds*(sc.Nodes-1); r++ {
-				dst := p.hotNode
-				// Background traffic needs a node that is neither the
-				// sender nor the hot node; with 2 nodes none exists and
-				// every burst goes hot.
-				if sc.Nodes > 2 && !rng.Bernoulli(skew) {
-					for {
-						dst = rng.Intn(sc.Nodes)
-						if dst != src && dst != p.hotNode {
-							break
-						}
-					}
-				}
-				add(src, dst)
+	if spec.arrival.Kind == Poisson {
+		mean := float64(sim.Second) / spec.arrival.RatePerSec // ps per burst
+		for src := range pp.bursts {
+			var at float64
+			for i := range pp.bursts[src] {
+				at += rng.Exp(mean)
+				pp.bursts[src][i].at = sim.Duration(at)
 			}
 		}
 	}
-	return p
+	return pp, nil
 }
 
-// frameSizeFor sizes the shared mailbox geometry to the largest message of
-// the mix.
-func frameSizeFor(pkg *core.Package, mix []ElementMix, payload int) (int, error) {
-	max := 0
-	for _, m := range mix {
-		var msg *mailbox.Message
-		if m.Local {
-			msg = mailbox.PackLocal(1, 1, [2]uint64{}, make([]byte, payload))
-		} else {
-			elem, ok := pkg.Element(m.Elem)
-			if !ok || elem.Kind != core.ElemJam {
-				return 0, fmt.Errorf("workload: no jam %q in bench package", m.Elem)
-			}
-			msg = &mailbox.Message{
-				Kind:     mailbox.KindInjected,
-				JamImage: make([]byte, elem.Jam.ShippedSize()),
-				Usr:      make([]byte, payload),
-			}
-		}
-		if n := msg.WireLen(); n > max {
-			max = n
-		}
-	}
-	return max, nil
+// runner drives one scenario run: it owns the per-phase plans, the
+// phase barrier, the per-sender handle caches, and the swap machinery.
+type runner struct {
+	sc    *Scenario
+	sys   *tc.System
+	res   *Result
+	plans []*phasePlan
+	cum   []int // cumulative planned messages through each phase
+
+	phase       int // index of the open phase
+	executedAll int // executions + errors so far, fabric-wide
+
+	payload  []byte
+	fns      []map[[2]string]*tc.Func // per sender: (pkg, elem) -> handle
+	issueErr error
+	swapErr  error
 }
 
-// Run executes the scenario and reports the result. The run is fully
-// deterministic: equal scenarios produce equal results.
-func Run(sc Scenario) (*Result, error) {
-	if sc.Nodes < 2 {
-		return nil, fmt.Errorf("workload: scenario needs >= 2 nodes")
+// fnFor resolves (and caches) the sender's handle for one element — the
+// bind-once/call-many idiom.
+func (r *runner) fnFor(src int, pkg, elem string) (*tc.Func, error) {
+	if r.fns[src] == nil {
+		r.fns[src] = map[[2]string]*tc.Func{}
 	}
-	if sc.Burst < 1 || sc.Rounds < 1 {
-		return nil, fmt.Errorf("workload: burst and rounds must be >= 1")
+	key := [2]string{pkg, elem}
+	if f, ok := r.fns[src][key]; ok {
+		return f, nil
 	}
-	if sc.Pattern != Fanout && sc.Pattern != AllToAll && sc.Pattern != Hotspot {
-		return nil, fmt.Errorf("workload: unknown pattern %q", sc.Pattern)
-	}
-	mix := sc.Mix
-	if len(mix) == 0 {
-		mix = DefaultMix()
-	}
-	wsum := 0
-	for _, m := range mix {
-		if m.Weight < 0 {
-			return nil, fmt.Errorf("workload: element %q has negative weight %d", m.Elem, m.Weight)
-		}
-		wsum += m.Weight
-	}
-	if wsum <= 0 {
-		return nil, fmt.Errorf("workload: element mix has no positive weight")
-	}
-
-	pkg, err := core.BuildBenchPackage()
+	f, err := r.sys.Func(src, pkg, elem)
 	if err != nil {
 		return nil, err
 	}
-	frame, err := frameSizeFor(pkg, mix, sc.PayloadBytes)
+	r.fns[src][key] = f
+	return f, nil
+}
+
+// performSwap re-installs the app's RIED elements on the node
+// (replacing name bindings) and re-runs the namespace exchange on every
+// channel into it — the remote-linking dynamic update, performed while
+// traffic may still be in flight.
+func (r *runner) performSwap(node int, app string) {
+	if app == "" {
+		app = DefaultPkg
+	}
+	err := func() error {
+		spkg, err := tcapp.BuildRieds(app)
+		if err != nil {
+			return err
+		}
+		for _, e := range spkg.Elements {
+			if e.Kind != core.ElemRied {
+				continue
+			}
+			if _, err := r.sys.InstallRied(node, e.Ried, true); err != nil {
+				return err
+			}
+		}
+		r.sys.RefreshNames(node)
+		return nil
+	}()
+	if err != nil && r.swapErr == nil {
+		r.swapErr = err
+	}
+	r.res.Swapped = true
+	r.res.Phases[r.phase].Swapped = true
+}
+
+// openPhase performs the phase's planned swap, arms its SwapAtHalf
+// trigger against the swap node's current executed count, and starts
+// its senders.
+func (r *runner) openPhase() {
+	pp := r.plans[r.phase]
+	if pp.spec.swap != nil {
+		r.performSwap(pp.spec.swap.Node, pp.spec.swap.App)
+	}
+	if pp.swapNode >= 0 {
+		pp.swapTrigger = r.res.PerNode[pp.swapNode].Executed + pp.sent[pp.swapNode]/2
+	}
+	for src := range pp.bursts {
+		if len(pp.bursts[src]) == 0 {
+			continue
+		}
+		if pp.spec.arrival.Kind == Poisson {
+			r.armOpenSender(src, pp.bursts[src])
+		} else {
+			r.armClosedSender(src, pp.bursts[src])
+		}
+	}
+}
+
+// advance opens phases until the open one still has unexecuted plan (or
+// the run is out of phases). Called at start and from the execution
+// hook each time a phase's plan completes.
+func (r *runner) advance() {
+	for r.phase < len(r.plans)-1 && r.executedAll >= r.cum[r.phase] {
+		r.res.Phases[r.phase].End = sim.Duration(r.sys.Now())
+		r.phase++
+		r.openPhase()
+	}
+}
+
+// armClosedSender installs the self-clocked issue chain: each sender
+// fires its next burst when the last message of the previous one
+// completes delivery. One completion callback per sender, not per
+// burst: fire is the self-clock, onDone re-arms it.
+func (r *runner) armClosedSender(src int, queue []burst) {
+	s := src
+	next := 0
+	var fire func()
+	onDone := func(tc.Result) { fire() }
+	payloadOpt := tc.Payload(r.payload)
+	localOpt := tc.Local()
+	optScratch := make([]tc.CallOpt, 0, 3)
+	fire = func() {
+		if next >= len(queue) || r.issueErr != nil {
+			return
+		}
+		b := &queue[next]
+		next++
+		fn, err := r.fnFor(s, b.mix.Pkg, b.mix.Elem)
+		if err != nil {
+			r.issueErr = err
+			return
+		}
+		callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
+		if b.local {
+			callOpts = append(callOpts, localOpt)
+		}
+		fu := fn.Call(b.dst, b.args[0], callOpts...)
+		if err := fu.IssueErr(); err != nil {
+			// Synchronous issue failure (bad element, torn-down
+			// destination): stop the sender.
+			r.issueErr = err
+			return
+		}
+		fu.Done(onDone)
+		// The future is not touched after its Done callback: hand it
+		// back to the pool so self-clocked senders recycle one future
+		// per in-flight burst instead of allocating per burst.
+		fu.Release()
+	}
+	r.sys.Engine().After(0, fire)
+}
+
+// armOpenSender schedules every burst at its pre-drawn arrival offset
+// from now — open-loop offered load, independent of completions.
+func (r *runner) armOpenSender(src int, queue []burst) {
+	payloadOpt := tc.Payload(r.payload)
+	localOpt := tc.Local()
+	// Func.Call consumes its options synchronously, so one per-sender
+	// scratch serves every scheduled burst — the issue path allocates no
+	// option slice, matching the closed-loop sender.
+	optScratch := make([]tc.CallOpt, 0, 3)
+	for i := range queue {
+		b := &queue[i]
+		r.sys.Engine().After(b.at, func() {
+			if r.issueErr != nil {
+				return
+			}
+			fn, err := r.fnFor(src, b.mix.Pkg, b.mix.Elem)
+			if err != nil {
+				r.issueErr = err
+				return
+			}
+			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
+			if b.local {
+				callOpts = append(callOpts, localOpt)
+			}
+			fu := fn.Call(b.dst, b.args[0], callOpts...)
+			if err := fu.IssueErr(); err != nil {
+				r.issueErr = err
+			}
+			// Fire and forget: the unobserved future recycles itself.
+		})
+	}
+}
+
+// Run executes the scenario and reports the result. The run is fully
+// deterministic: equal scenarios produce equal results. Validation and
+// plan-building failures are *ScenarioError.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.validateScalars(); err != nil {
+		return nil, err
+	}
+	// resolvePhases both defaults and validates the phase surface — one
+	// pass covers what Validate would check.
+	specs, err := sc.resolvePhases()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := packagesFor(specs)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := frameSizeFor(pkgs, specs, sc.PayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -303,56 +512,59 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sys.InstallPackage(pkg); err != nil {
-		return nil, err
-	}
-
-	p := buildPlan(sc, mix, wsum, sys.RNG())
-	res := &Result{
-		Scenario: sc,
-		Shards:   sys.Mesh().Cfg.Shards, // post-clamp value actually used
-		PerNode:  make([]NodeResult, sc.Nodes),
-		HotNode:  p.hotNode,
-	}
-	for i := range res.PerNode {
-		res.PerNode[i].Sent = p.sent[i]
-	}
-
-	// Hot-swap trigger: once the hot node has executed half its planned
-	// traffic, install a fresh copy of the server RIED (rebinding
-	// tc_results/tc_table/tc_heap to new state) and re-run the namespace
-	// exchange on every channel into it — the remote-linking dynamic
-	// update, performed while bursts are still in flight. In-flight Func
-	// handles re-bind automatically on their next call.
-	swapAt := -1
-	var swapImg = func() error { return nil }
-	if sc.Pattern == Hotspot && !sc.DisableSwap && p.hotNode >= 0 {
-		swapAt = p.sent[p.hotNode] / 2
-		swapImg = func() error {
-			spkg, err := core.BuildPackage("kvbench-swap", map[string]string{
-				"ried_kvbench.rds": core.RiedKVBenchSrc,
-			})
-			if err != nil {
-				return err
-			}
-			for _, e := range spkg.Elements {
-				if e.Kind != core.ElemRied {
-					continue
-				}
-				if _, err := sys.InstallRied(p.hotNode, e.Ried, true); err != nil {
-					return err
-				}
-			}
-			sys.RefreshNames(p.hotNode)
-			return nil
+	// Install every referenced package in name order, so package IDs are
+	// a pure function of the scenario.
+	for _, name := range sortedKeys(pkgs) {
+		if err := sys.InstallPackage(pkgs[name]); err != nil {
+			return nil, err
 		}
 	}
 
-	var swapErr error
-	payload := make([]byte, sc.PayloadBytes)
-	for i := range payload {
-		payload[i] = byte(i*31 + 7)
+	topo := Topology{
+		Nodes:   sc.Nodes,
+		Shards:  sys.Mesh().Cfg.Shards,
+		ShardOf: sys.ShardOf,
 	}
+	res := &Result{
+		Scenario: sc,
+		Shards:   topo.Shards,
+		PerNode:  make([]NodeResult, sc.Nodes),
+		Phases:   make([]PhaseResult, len(specs)),
+		HotNode:  -1,
+	}
+	r := &runner{
+		sc:      &sc,
+		sys:     sys,
+		res:     res,
+		plans:   make([]*phasePlan, len(specs)),
+		cum:     make([]int, len(specs)),
+		fns:     make([]map[[2]string]*tc.Func, sc.Nodes),
+		payload: make([]byte, sc.PayloadBytes),
+	}
+	for i := range r.payload {
+		r.payload[i] = byte(i*31 + 7)
+	}
+	// Plans are generated phase by phase from the one seeded RNG before
+	// the simulation starts.
+	total := 0
+	for i := range specs {
+		pp, err := buildPlan(&sc, topo, &specs[i], sys.RNG())
+		if err != nil {
+			return nil, err
+		}
+		r.plans[i] = pp
+		total += pp.total
+		r.cum[i] = total
+		res.Phases[i].Name = specs[i].name
+		res.Phases[i].Planned = pp.total
+		if pp.hotNode >= 0 {
+			res.HotNode = pp.hotNode
+		}
+		for dst, n := range pp.sent {
+			res.PerNode[dst].Sent += n
+		}
+	}
+
 	for i := 0; i < sc.Nodes; i++ {
 		node := i
 		sys.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
@@ -366,86 +578,30 @@ func Run(sc Scenario) (*Result, error) {
 			if sc.OnExecuted != nil {
 				sc.OnExecuted(node, ret, err)
 			}
-			if node == p.hotNode && !res.Swapped && swapAt >= 0 && nr.Executed >= swapAt {
-				res.Swapped = true
-				if err := swapImg(); err != nil && swapErr == nil {
-					swapErr = err
-				}
+			pp := r.plans[r.phase]
+			if node == pp.swapNode && !pp.swapFired && nr.Executed >= pp.swapTrigger {
+				pp.swapFired = true
+				r.performSwap(pp.swapNode, pp.swapApp)
 			}
+			r.executedAll++
+			res.Phases[r.phase].Executed++
+			r.advance()
 		}
 	}
 
-	// Self-clocked issue: each sender fires its next burst when the last
-	// message of the previous one completes delivery. Handles are
-	// resolved once per sender and element and reused for every burst —
-	// the bind-once/call-many idiom.
-	var issueErr error
-	fns := make([]map[string]*tc.Func, sc.Nodes)
-	fnFor := func(src int, elem string) (*tc.Func, error) {
-		if fns[src] == nil {
-			fns[src] = map[string]*tc.Func{}
-		}
-		if f, ok := fns[src][elem]; ok {
-			return f, nil
-		}
-		f, err := sys.Func(src, "tcbench", elem)
-		if err != nil {
-			return nil, err
-		}
-		fns[src][elem] = f
-		return f, nil
-	}
-	for src := 0; src < sc.Nodes; src++ {
-		queue := p.bursts[src]
-		if len(queue) == 0 {
-			continue
-		}
-		s := src
-		next := 0
-		var fire func()
-		// One completion callback per sender, not per burst: fire is the
-		// self-clock, onDone re-arms it.
-		onDone := func(tc.Result) { fire() }
-		payloadOpt := tc.Payload(payload)
-		localOpt := tc.Local()
-		optScratch := make([]tc.CallOpt, 0, 3)
-		fire = func() {
-			if next >= len(queue) || issueErr != nil {
-				return
-			}
-			b := queue[next]
-			next++
-			fn, err := fnFor(s, b.mix.Elem)
-			if err != nil {
-				issueErr = err
-				return
-			}
-			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
-			if b.local {
-				callOpts = append(callOpts, localOpt)
-			}
-			fu := fn.Call(b.dst, b.args[0], callOpts...)
-			if err := fu.IssueErr(); err != nil {
-				// Synchronous issue failure (bad element, torn-down
-				// destination): stop the sender, like the legacy path.
-				issueErr = err
-				return
-			}
-			fu.Done(onDone)
-			// The future is not touched after its Done callback: hand it
-			// back to the pool so self-clocked senders recycle one future
-			// per in-flight burst instead of allocating per burst.
-			fu.Release()
-		}
-		sys.Engine().After(0, fire)
-	}
+	r.phase = 0
+	r.openPhase()
+	// Chain straight through leading zero-traffic phases (e.g. a
+	// swap-only opener): nothing will execute to advance past them.
+	r.advance()
 	sys.Run()
-	if issueErr != nil {
-		return nil, issueErr
+	if r.issueErr != nil {
+		return nil, r.issueErr
 	}
-	if swapErr != nil {
-		return nil, swapErr
+	if r.swapErr != nil {
+		return nil, r.swapErr
 	}
+	res.Phases[r.phase].End = sim.Duration(sys.Now())
 
 	for _, nr := range res.PerNode {
 		res.Injections += nr.Executed
@@ -461,9 +617,19 @@ func Run(sc Scenario) (*Result, error) {
 	for _, nr := range res.PerNode {
 		errSum += nr.Errors
 	}
-	if res.Injections+errSum != p.total {
+	if res.Injections+errSum != total {
 		return res, fmt.Errorf("workload: %s executed %d+%d of %d planned messages",
-			sc.Pattern, res.Injections, errSum, p.total)
+			sc.Pattern, res.Injections, errSum, total)
 	}
 	return res, nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]*core.Package) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
