@@ -6,16 +6,19 @@
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates BENCH_PR4.json — the machine-readable
-# perf trajectory point (ns/op, allocs/op, simulated injections/sec,
-# speedup vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json),
-# now including the composed kvstore/multi-phase scenario benchmarks.
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR5.json by
+# default; override with BENCH_OUT=...) — the machine-readable perf
+# trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
+# vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
+# including the 64/128-node parallel-engine mesh pairs (workers=NumCPU
+# vs workers=1 twins of the same bit-identical simulation).
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
 # `go tool pprof`).
 
 GO ?= go
 GOFMT ?= gofmt
+BENCH_OUT ?= BENCH_PR5.json
 
 .PHONY: check fmt-check vet build test bench-smoke bench-json profile perf examples
 
@@ -45,15 +48,20 @@ examples:
 	@echo "all examples ran clean"
 
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 1x .
+	$(GO) test -short -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 1x . \
+		> bench_smoke.out || { cat bench_smoke.out; rm -f bench_smoke.out; exit 1; }
+	@cat bench_smoke.out
+	@$(GO) run ./cmd/benchjson -smoke -baseline BENCH_PR4.json -metric sim_inj_per_sec -tol 0.25 < bench_smoke.out; \
+		st=$$?; rm -f bench_smoke.out; exit $$st
 	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
 
 bench-json:
-	@{ $(GO) test -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 10x . && \
+	@{ $(GO) test -run xxx -bench 'BenchmarkMeshFanout$$|BenchmarkMeshAllToAll$$|BenchmarkMeshHotspot$$|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 10x . && \
+	   $(GO) test -run xxx -bench 'BenchmarkMesh(AllToAll|Fanout|Hotspot)(64|128)' -benchmem -benchtime 1x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject|BenchmarkFramePack' -benchmem -benchtime 200000x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim; } \
-	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
 
 profile: vet
 	$(GO) test -run xxx -bench BenchmarkMeshAllToAll -benchtime 20x \

@@ -10,6 +10,7 @@
 package twochains_test
 
 import (
+	"runtime"
 	"testing"
 
 	"twochains/internal/asm"
@@ -234,6 +235,75 @@ func BenchmarkMeshAllToAll(b *testing.B) { runMesh(b, workload.AllToAll, 8) }
 // BenchmarkMeshHotspot: skewed traffic with a mid-run ried hot-swap on
 // the hot node.
 func BenchmarkMeshHotspot(b *testing.B) { runMesh(b, workload.Hotspot, 8) }
+
+// runMeshScale executes one large-mesh scenario per b.N batch on the
+// multi-core conservative engine and reports the simulated injection
+// rate plus the worker count actually engaged. The digests are
+// bit-identical at every worker count (the parallel property tests pin
+// it), so the sim_* metrics are comparable across the W1/WN pairs and
+// the wall-clock ns/op difference is the engine speedup.
+func runMeshScale(b *testing.B, p workload.Pattern, nodes, rounds, shards, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	sc := workload.DefaultScenario(p, nodes)
+	sc.Rounds = rounds
+	sc.Shards = shards
+	sc.Workers = workers
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RatePerSec, "sim_inj_per_sec")
+	b.ReportMetric(float64(res.Injections), "msgs")
+	b.ReportMetric(res.SimTime.Microseconds(), "sim_us")
+	b.ReportMetric(float64(res.Workers), "workers")
+}
+
+// BenchmarkMeshAllToAll64: dense exchange over a 64-node, 8-shard mesh
+// on the parallel engine (workers = NumCPU); the W1 twin below is the
+// same simulation on one core — the pair records the engine speedup.
+func BenchmarkMeshAllToAll64(b *testing.B) {
+	runMeshScale(b, workload.AllToAll, 64, 2, 8, runtime.NumCPU())
+}
+
+// BenchmarkMeshAllToAll64W1: the sequential twin of MeshAllToAll64.
+func BenchmarkMeshAllToAll64W1(b *testing.B) {
+	runMeshScale(b, workload.AllToAll, 64, 2, 8, 1)
+}
+
+// BenchmarkMeshFanout64: 64-node broadcast (single sender; receiver-side
+// parallelism only).
+func BenchmarkMeshFanout64(b *testing.B) {
+	runMeshScale(b, workload.Fanout, 64, 2, 8, runtime.NumCPU())
+}
+
+// BenchmarkMeshHotspot64: 64-node skewed traffic with the mid-run RIED
+// hot-swap (the swap holds the engine serial until it fires).
+func BenchmarkMeshHotspot64(b *testing.B) {
+	runMeshScale(b, workload.Hotspot, 64, 2, 8, runtime.NumCPU())
+}
+
+// BenchmarkMeshAllToAll128: the 128-node, 16-shard exchange — the
+// largest recorded point. Skipped under -short (bench-smoke) to keep
+// the CI gate fast; bench-json records it.
+func BenchmarkMeshAllToAll128(b *testing.B) {
+	if testing.Short() {
+		b.Skip("128-node mesh skipped in short mode")
+	}
+	runMeshScale(b, workload.AllToAll, 128, 2, 16, runtime.NumCPU())
+}
+
+// BenchmarkMeshAllToAll128W1: the sequential twin of MeshAllToAll128.
+func BenchmarkMeshAllToAll128W1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("128-node mesh skipped in short mode")
+	}
+	runMeshScale(b, workload.AllToAll, 128, 2, 16, 1)
+}
 
 // runScenario executes one composed scenario per b.N batch (same
 // shape as runMesh, over an arbitrary Scenario).

@@ -6,10 +6,19 @@
 // {ns/op, bytes/op, allocs/op, custom metrics}, optionally merges a
 // recorded baseline file, and emits one JSON document with a
 // speedup-vs-baseline section so regressions (or claimed wins) are
-// diffable in review:
+// diffable in review. The output name comes from -o (stdout without
+// it); the Makefile's bench-json target supplies the per-PR file name:
 //
 //	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson \
 //	    -baseline bench/BASELINE_PR3.json -o BENCH_PR3.json
+//
+// With -smoke it becomes the CI regression gate instead: for every
+// benchmark present both on stdin and in the -baseline file, the chosen
+// -metric (default sim_inj_per_sec) must not fall more than -tol below
+// the recorded value, or the exit status is non-zero:
+//
+//	go test -run xxx -bench BenchmarkMesh -benchtime 1x . | \
+//	    go run ./cmd/benchjson -smoke -baseline BENCH_PR4.json -tol 0.25
 package main
 
 import (
@@ -94,10 +103,64 @@ func parse(r *bufio.Scanner) (map[string]*Entry, error) {
 	return out, r.Err()
 }
 
+// loadBaseline reads a baseline file, accepting either a full File
+// (using its Current section) or a bare name->Entry map.
+func loadBaseline(path string) (map[string]*Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var asFile File
+	if err := json.Unmarshal(raw, &asFile); err == nil && len(asFile.Current) > 0 {
+		return asFile.Current, nil
+	}
+	var m map[string]*Entry
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("benchjson: baseline %s: %v", path, err)
+	}
+	return m, nil
+}
+
+// smokeCheck compares one metric of every benchmark present in both
+// runs against the recorded baseline with a relative tolerance band; it
+// reports the comparisons and whether any regressed below the band.
+func smokeCheck(cur, base map[string]*Entry, metric string, tol float64) bool {
+	ok := true
+	compared := 0
+	for name, b := range base {
+		c, present := cur[name]
+		if !present || c.Metrics == nil || b.Metrics == nil {
+			continue
+		}
+		cv, cok := c.Metrics[metric]
+		bv, bok := b.Metrics[metric]
+		if !cok || !bok || bv <= 0 {
+			continue
+		}
+		compared++
+		ratio := cv / bv
+		status := "ok"
+		if ratio < 1-tol {
+			status = "REGRESSED"
+			ok = false
+		}
+		fmt.Printf("benchjson smoke: %-28s %s %.0f vs baseline %.0f (%.2fx, tolerance -%.0f%%) %s\n",
+			name, metric, cv, bv, ratio, tol*100, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson smoke: no comparable benchmarks between stdin and baseline")
+		return false
+	}
+	return ok
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "recorded baseline JSON (File or bare name->Entry map)")
 	outPath := flag.String("o", "", "output path (default stdout)")
 	note := flag.String("note", "regenerate with `make bench-json`", "provenance note")
+	smoke := flag.Bool("smoke", false, "regression-gate mode: compare -metric against -baseline and exit non-zero on regression")
+	metric := flag.String("metric", "sim_inj_per_sec", "custom metric compared in -smoke mode")
+	tol := flag.Float64("tol", 0.25, "relative tolerance band in -smoke mode (0.25 = fail below 75% of baseline)")
 	flag.Parse()
 
 	cur, err := parse(bufio.NewScanner(os.Stdin))
@@ -109,25 +172,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	f := &File{Note: *note, Current: cur}
-	if *baselinePath != "" {
-		raw, err := os.ReadFile(*baselinePath)
+	if *smoke {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -smoke needs -baseline")
+			os.Exit(2)
+		}
+		base, err := loadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		// Accept either a full File (use its Current) or a bare map.
-		var asFile File
-		if err := json.Unmarshal(raw, &asFile); err == nil && len(asFile.Current) > 0 {
-			f.Baseline = asFile.Current
-		} else {
-			var m map[string]*Entry
-			if err := json.Unmarshal(raw, &m); err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baselinePath, err)
-				os.Exit(1)
-			}
-			f.Baseline = m
+		if !smokeCheck(cur, base, *metric, *tol) {
+			os.Exit(1)
 		}
+		return
+	}
+	f := &File{Note: *note, Current: cur}
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Baseline = base
 		f.SpeedupNsPerOp = map[string]float64{}
 		for name, b := range f.Baseline {
 			if c, ok := cur[name]; ok && c.NsPerOp > 0 && b.NsPerOp > 0 {

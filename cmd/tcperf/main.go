@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"twochains/internal/perf"
@@ -24,6 +25,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "iteration-count multiplier")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list    = flag.Bool("list", false, "list available experiments")
+		workers = flag.Int("workers", runtime.NumCPU(),
+			"engine workers for parallel-capable experiments (mesh); 1 = sequential")
 	)
 	flag.Parse()
 
@@ -38,7 +41,7 @@ func main() {
 		return
 	}
 
-	opts := perf.Options{Scale: *scale}
+	opts := perf.Options{Scale: *scale, Workers: *workers}
 	run := func(e perf.Experiment) error {
 		start := time.Now()
 		tab, err := e.Run(opts)

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
@@ -39,6 +40,8 @@ func main() {
 		payload  = flag.Int("payload", 64, "payload size in bytes (patterned)")
 		injected = flag.Bool("injected", true, "use Injected Function (false: Local Function)")
 		backend  = flag.String("backend", "", "fabric backend (default simnet)")
+		workers  = flag.Int("workers", runtime.NumCPU(),
+			"engine workers; > 1 places the two nodes in separate fabric shards (spine-linked topology) on the multi-core conservative engine")
 	)
 	flag.Parse()
 	if (*pkgFile == "") == (*appName == "") || *jam == "" {
@@ -84,11 +87,18 @@ func main() {
 		}
 	}
 
-	sys, err := tc.NewSystem(2,
+	sysOpts := []tc.SystemOpt{
 		tc.WithGeometry(mailbox.Geometry{Banks: 1, Slots: 2, FrameSize: frame}),
 		tc.WithCredits(false),
 		tc.WithBackend(*backend),
-	)
+	}
+	if *workers > 1 {
+		// The parallel engine needs one shard per worker-parallel domain;
+		// a 2-node run splits into two spine-linked shards (this changes
+		// the modeled topology: cross-node puts pay the uplink hop).
+		sysOpts = append(sysOpts, tc.WithWorkers(*workers), tc.WithShards(2))
+	}
+	sys, err := tc.NewSystem(2, sysOpts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"twochains/internal/cpusim"
 	"twochains/internal/fabric"
@@ -18,6 +19,12 @@ type MeshConfig struct {
 	// two-tier topology). Nodes are assigned in contiguous blocks;
 	// cross-shard traffic serializes through the shared spine uplinks.
 	Shards int
+	// Workers > 1 requests the multi-core conservative engine: each
+	// fabric shard's event loop runs on its own worker goroutine, with
+	// digests and simulated times bit-identical to single-engine
+	// execution. Needs a backend implementing fabric.ShardedTransport
+	// (the default "simnet" does); others fall back to one engine.
+	Workers int
 
 	Cluster ClusterConfig
 	Node    NodeConfig
@@ -83,6 +90,17 @@ type Mesh struct {
 	// inbound channels share one exchange instead of re-computing it.
 	nsMemo map[int]nsSnap
 	rng    *sim.RNG
+	// mu guards chans and nsMemo. Channel creation is a zero-lookahead
+	// global action: under the parallel engine it only ever happens while
+	// the group executes serially (the workload driver holds the engine
+	// serial until every planned channel exists), but handle binds on
+	// other elements of an existing channel read chans concurrently from
+	// shard workers, so lookups take the read lock.
+	mu sync.RWMutex
+	// OnChannelCreated, when set, observes every successful lazy channel
+	// creation — the hook the scenario driver uses to release its
+	// serial-execution hold once a phase's full channel set exists.
+	OnChannelCreated func(src, dst int)
 }
 
 // nsSnap is a memoized namespace exchange.
@@ -119,6 +137,10 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	if cfg.Geometry.FrameSize == 0 {
 		cfg.Geometry.FrameSize = def.FrameSize
 	}
+	if cfg.Workers > 1 {
+		cfg.Cluster.Workers = cfg.Workers
+		cfg.Cluster.Shards = cfg.Shards
+	}
 	cl := NewCluster(cfg.Cluster)
 	m := &Mesh{
 		Cfg:     cfg,
@@ -132,16 +154,26 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		if cfg.PerNode != nil {
 			ncfg = cfg.PerNode(i, ncfg)
 		}
-		n, err := cl.AddNode(fmt.Sprintf("n%02d", i), ncfg)
+		shard := i * cfg.Shards / cfg.Nodes
+		n, err := cl.AddNodeShard(fmt.Sprintf("n%02d", i), ncfg, shard)
 		if err != nil {
 			return nil, err
 		}
-		shard := i * cfg.Shards / cfg.Nodes
-		cl.Fabric.AssignDomain(n.Worker.NIC, shard)
 		m.nodes = append(m.nodes, n)
 		m.shardOf = append(m.shardOf, shard)
 	}
 	return m, nil
+}
+
+// Sharded reports whether the mesh runs on the parallel engine group.
+func (m *Mesh) Sharded() bool { return m.Cluster.Group != nil }
+
+// HasChannel reports whether the src->dst channel already exists.
+func (m *Mesh) HasChannel(src, dst int) bool {
+	m.mu.RLock()
+	_, ok := m.chans[[2]int{src, dst}]
+	m.mu.RUnlock()
+	return ok
 }
 
 // Nodes returns the node count.
@@ -168,7 +200,9 @@ func (m *Mesh) InstallPackage(pkg *Package) error {
 			return err
 		}
 	}
+	m.mu.Lock()
 	m.nsMemo = map[int]nsSnap{}
+	m.mu.Unlock()
 	return nil
 }
 
@@ -194,7 +228,10 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 		return nil, fmt.Errorf("core: mesh channel %d->%d is a self-loop", src, dst)
 	}
 	key := [2]int{src, dst}
-	if ch, ok := m.chans[key]; ok {
+	m.mu.RLock()
+	ch, ok := m.chans[key]
+	m.mu.RUnlock()
+	if ok {
 		return ch, nil
 	}
 	if m.nodes[dst].down {
@@ -209,13 +246,17 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 	opts := m.Cfg.Channel
 	opts.Sender.Geometry = m.Cfg.Geometry
 	opts.Sender.WaitMode = m.Cfg.WaitMode
-	snap, ok := m.nsMemo[dst]
-	if !ok {
+	m.mu.RLock()
+	snap, memoized := m.nsMemo[dst]
+	m.mu.RUnlock()
+	if !memoized {
 		snap.names = m.nodes[dst].NS.Snapshot()
 		snap.fp = nsFingerprint(snap.names)
+		m.mu.Lock()
 		m.nsMemo[dst] = snap
+		m.mu.Unlock()
 	}
-	ch, err := connectTo(m.nodes[src], m.nodes[dst], recv, opts, snap.names, snap.fp)
+	ch, err = connectTo(m.nodes[src], m.nodes[dst], recv, opts, snap.names, snap.fp)
 	if err != nil {
 		// Un-arm the region so a retry doesn't accumulate orphan
 		// receivers (the address space itself is bump-allocated and not
@@ -226,7 +267,12 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 		}
 		return nil, err
 	}
+	m.mu.Lock()
 	m.chans[key] = ch
+	m.mu.Unlock()
+	if m.OnChannelCreated != nil {
+		m.OnChannelCreated(src, dst)
+	}
 	return ch, nil
 }
 
@@ -246,13 +292,20 @@ func (m *Mesh) ConnectFull() error {
 }
 
 // Channels returns the currently connected channel count.
-func (m *Mesh) Channels() int { return len(m.chans) }
+func (m *Mesh) Channels() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.chans)
+}
 
 // EachChannel visits every connected channel in deterministic order.
 func (m *Mesh) EachChannel(fn func(src, dst int, ch *Channel)) {
 	for s := 0; s < len(m.nodes); s++ {
 		for d := 0; d < len(m.nodes); d++ {
-			if ch, ok := m.chans[[2]int{s, d}]; ok {
+			m.mu.RLock()
+			ch, ok := m.chans[[2]int{s, d}]
+			m.mu.RUnlock()
+			if ok {
 				fn(s, d, ch)
 			}
 		}
@@ -269,7 +322,9 @@ func (m *Mesh) RefreshNames(dst int) {
 	}
 	snap := nsSnap{names: m.nodes[dst].NS.Snapshot()}
 	snap.fp = nsFingerprint(snap.names)
+	m.mu.Lock()
 	m.nsMemo[dst] = snap
+	m.mu.Unlock()
 	m.EachChannel(func(_, d int, ch *Channel) {
 		if d == dst {
 			ch.remoteNames, ch.remoteFP = snap.names, snap.fp
@@ -306,7 +361,7 @@ type MeshStats struct {
 
 // Stats sums sender, receiver, and jam-cache counters over the mesh.
 func (m *Mesh) Stats() MeshStats {
-	st := MeshStats{Channels: len(m.chans)}
+	st := MeshStats{Channels: m.Channels()}
 	m.EachChannel(func(_, _ int, ch *Channel) {
 		ss := ch.Sender.Stats()
 		st.Sent += ss.Sent

@@ -162,7 +162,7 @@ func NewReceiver(w *ucx.Worker, cfg ReceiverConfig, counter *cpusim.Counter, han
 		Handler: handler,
 		BaseVA:  base,
 		Mem:     m,
-		eng:     w.Ctx.Fabric.Engine(),
+		eng:     w.Eng,
 		nextSeq: 1,
 	}
 	r.serviceFn = func() { r.service(r.serviceVA) }

@@ -142,7 +142,7 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 		Counter:    counter,
 		RemoteBase: remoteBase,
 		RemoteKey:  remoteKey,
-		eng:        w.Ctx.Fabric.Engine(),
+		eng:        w.Eng,
 		staging:    staging,
 		seq:        1,
 	}

@@ -1,6 +1,9 @@
 package sim
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // bufClasses bounds the pooled size classes: 1<<23 = 8 MB. Larger buffers
 // are so rare in a frame-granular fabric that pooling them would only pin
@@ -49,4 +52,42 @@ func (p *BufPool) Put(b []byte) {
 		return
 	}
 	p.classes[k] = append(p.classes[k], b[:0])
+}
+
+// SharedBufPool is the concurrent counterpart of BufPool: the same
+// power-of-two size-classing over sync.Pool shards, safe to Get on one
+// goroutine and Put on another. Cross-shard put payloads in the parallel
+// engine use it — the buffer is snapshot on the issuing shard's worker
+// and released on the destination shard's worker after delivery.
+type SharedBufPool struct {
+	classes [bufClasses]sync.Pool
+}
+
+// Get returns a buffer of length n. Contents are unspecified.
+func (p *SharedBufPool) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	k := bits.Len(uint(n - 1))
+	if k >= bufClasses {
+		return make([]byte, n)
+	}
+	if v := p.classes[k].Get(); v != nil {
+		return (*(v.(*[]byte)))[:n]
+	}
+	return make([]byte, n, 1<<k)
+}
+
+// Put recycles a buffer previously returned by Get.
+func (p *SharedBufPool) Put(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	k := bits.Len(uint(c)) - 1
+	if k >= bufClasses {
+		return
+	}
+	b = b[:0]
+	p.classes[k].Put(&b)
 }

@@ -15,10 +15,29 @@
 //
 // Time is discrete-event simulated; data movement is real (bytes are
 // copied between the nodes' address spaces through the DMA paths).
+//
+// # Parallel execution
+//
+// simnet implements fabric.ShardedTransport: when bound to a sim.Group,
+// each leaf domain's traffic runs on its own shard engine. State is
+// partitioned by owner — a NIC's tx queue, outbound wires, barriers, and
+// stats belong to its shard; a domain's spine uplinks and staging pools
+// belong to that domain's shard — so shard-local puts never synchronize.
+// A cross-shard put computes its full arrival time on the issuing shard
+// (tx, wire, and uplink are all issuer-owned resources), then splits: the
+// delivery (memory write, stash, hooks) is handed off to the destination
+// shard through the group's lanes, while the initiator's completion
+// callback is scheduled locally at the same arrival time. The two halves
+// touch disjoint state, so the split is equivalent to the sequential
+// combined event. Every cross-shard arrival is at least Lookahead() =
+// UplinkHopLat + PutBaseLat after issue, which is the conservative
+// window the group runs ahead within.
 package simnet
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"twochains/internal/fabric"
 	"twochains/internal/mem"
@@ -68,36 +87,50 @@ func DefaultConfig() Config {
 }
 
 // Fabric connects NICs with per-direction wires. It implements
-// fabric.Transport and registers itself as the "simnet" backend.
+// fabric.Transport (and fabric.ShardedTransport) and registers itself as
+// the "simnet" backend.
 type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	nics  []*NIC
-	wires map[[2]int]*sim.Resource
 	rng   *sim.RNG
+	group *sim.Group
 
-	// domains partitions NICs into fabric shards (leaf domains). Traffic
-	// inside one domain rides the dedicated back-to-back wires; traffic
-	// between domains additionally serializes through a shared directional
-	// uplink per domain pair — the oversubscribed spine of a two-tier
-	// topology. NICs not assigned to a domain are in domain 0, so a fabric
-	// that never calls AssignDomain behaves exactly as before.
-	domains map[int]int
-	uplinks map[[2]int]*sim.Resource
+	// shards holds the per-domain ownership state (uplinks, staging
+	// pools) of the leaf-domain partition. Traffic inside one domain
+	// rides the dedicated back-to-back wires; traffic between domains
+	// additionally serializes through a shared directional uplink per
+	// domain pair — the oversubscribed spine of a two-tier topology.
+	// NICs never assigned a domain stay in domain 0, so a fabric that
+	// never calls AssignDomain behaves exactly as before. Domain labels
+	// are arbitrary, so the map is keyed, not indexed.
+	shards map[int]*fabShard
 
-	// bufs recycles the staging copies of in-flight put payloads (the
-	// bytes snapshot at issue time, released right after delivery lands);
-	// jobs recycles the per-put delivery records that replace per-put
-	// closures. Both are single-threaded, owned by the fabric's engine.
-	bufs sim.BufPool
-	jobs []*putJob
+	// crossBufs recycles staging copies of cross-shard put payloads: the
+	// buffer is filled on the issuing shard's worker and released on the
+	// destination shard's worker after delivery, so unlike the per-shard
+	// pools it must be concurrency-safe.
+	crossBufs sim.SharedBufPool
 }
 
-// putJob is the pooled in-flight state of one put between issue and
-// delivery. Its prebound run method is the event the engine fires at
-// arrival, so the steady-state delivery path schedules no fresh closures.
+// fabShard is the state owned by one leaf domain's shard: its spine
+// uplinks (claimed at issue time, and every issuer into a given remote
+// domain lives in this shard), its staging-buffer pool and delivery-job
+// free list for shard-local puts, and the free list of initiator-side
+// completion records for cross-shard puts.
+type fabShard struct {
+	uplinks map[int]*sim.Resource // keyed by destination domain
+	bufs    sim.BufPool
+	jobs    []*putJob
+	dones   []*crossDone
+}
+
+// putJob is the pooled in-flight state of one shard-local put between
+// issue and delivery. Its prebound run method is the event the engine
+// fires at arrival, so the steady-state delivery path schedules no fresh
+// closures.
 type putJob struct {
-	fab        *Fabric
+	sh         *fabShard
 	dst        *NIC
 	dstVA      uint64
 	data       []byte
@@ -105,14 +138,14 @@ type putJob struct {
 	run        func() // prebound
 }
 
-func (f *Fabric) getJob(dst *NIC, dstVA uint64, data []byte, onComplete func(PutResult)) *putJob {
+func (sh *fabShard) getJob(dst *NIC, dstVA uint64, data []byte, onComplete func(PutResult)) *putJob {
 	var j *putJob
-	if n := len(f.jobs); n > 0 {
-		j = f.jobs[n-1]
-		f.jobs[n-1] = nil
-		f.jobs = f.jobs[:n-1]
+	if n := len(sh.jobs); n > 0 {
+		j = sh.jobs[n-1]
+		sh.jobs[n-1] = nil
+		sh.jobs = sh.jobs[:n-1]
 	} else {
-		j = &putJob{fab: f}
+		j = &putJob{sh: sh}
 		j.run = j.deliver
 	}
 	j.dst, j.dstVA, j.data, j.onComplete = dst, dstVA, data, onComplete
@@ -123,89 +156,197 @@ func (f *Fabric) getJob(dst *NIC, dstVA uint64, data []byte, onComplete func(Put
 // its staging buffer recycled before user callbacks run so re-entrant
 // sends reuse them immediately.
 func (j *putJob) deliver() {
-	f, dst, dstVA, data, onComplete := j.fab, j.dst, j.dstVA, j.data, j.onComplete
+	sh, dst, dstVA, data, onComplete := j.sh, j.dst, j.dstVA, j.data, j.onComplete
 	j.dst, j.data, j.onComplete = nil, nil, nil
-	f.jobs = append(f.jobs, j)
+	sh.jobs = append(sh.jobs, j)
 
+	dst.land(dstVA, data)
+	sh.bufs.Put(data)
+	if onComplete != nil {
+		onComplete(PutResult{Delivered: dst.eng.Now()})
+	}
+}
+
+// crossJob is the destination-shard half of a cross-shard put: just the
+// delivery, no initiator callback (that is a separate, issuer-local
+// event). Records cross worker goroutines, so they pool globally.
+type crossJob struct {
+	fab   *Fabric
+	dst   *NIC
+	dstVA uint64
+	data  []byte
+	run   func() // prebound
+}
+
+var crossJobPool sync.Pool
+
+func init() {
+	crossJobPool.New = func() any {
+		j := &crossJob{}
+		j.run = j.deliver
+		return j
+	}
+}
+
+func (j *crossJob) deliver() {
+	fab, dst, dstVA, data := j.fab, j.dst, j.dstVA, j.data
+	j.fab, j.dst, j.data = nil, nil, nil
+	crossJobPool.Put(j)
+
+	dst.land(dstVA, data)
+	fab.crossBufs.Put(data)
+}
+
+// crossDone is the issuer-side half of a cross-shard put: it reports
+// the (pre-computed) delivery time to the initiator at that simulated
+// time, while the payload lands on the destination shard concurrently.
+// Rejected puts never split (the error callback is scheduled directly
+// at issue), so a crossDone always reports success. Owned — allocated,
+// fired, and recycled — by the issuing shard.
+type crossDone struct {
+	sh         *fabShard
+	at         sim.Time
+	onComplete func(PutResult)
+	run        func() // prebound
+}
+
+func (sh *fabShard) getDone(at sim.Time, onComplete func(PutResult)) *crossDone {
+	var d *crossDone
+	if n := len(sh.dones); n > 0 {
+		d = sh.dones[n-1]
+		sh.dones[n-1] = nil
+		sh.dones = sh.dones[:n-1]
+	} else {
+		d = &crossDone{sh: sh}
+		d.run = d.fire
+	}
+	d.at, d.onComplete = at, onComplete
+	return d
+}
+
+func (d *crossDone) fire() {
+	at, onComplete := d.at, d.onComplete
+	d.onComplete = nil
+	d.sh.dones = append(d.sh.dones, d)
+	onComplete(PutResult{Delivered: at})
+}
+
+// land performs the destination-side effects of a delivered put.
+func (n *NIC) land(dstVA uint64, data []byte) {
 	// Failure here is a model bug (registration guaranteed the range is
 	// mapped).
-	if err := dst.as.WriteBytesDMA(dstVA, data); err != nil {
+	if err := n.as.WriteBytesDMA(dstVA, data); err != nil {
 		panic(fmt.Sprintf("simnet: delivery DMA failed inside registration: %v", err))
 	}
 	size := len(data)
-	f.bufs.Put(data)
-	if dst.hier != nil {
-		dst.hier.NetworkWrite(dstVA, size)
+	if n.hier != nil {
+		n.hier.NetworkWrite(dstVA, size)
 	}
-	dst.stats.PutsDelivered++
-	for _, hook := range dst.onDeliver {
+	n.stats.PutsDelivered++
+	for _, hook := range n.onDeliver {
 		if hook.end == 0 || (dstVA < hook.end && dstVA+uint64(size) > hook.base) {
 			hook.fn(dstVA, size)
 		}
-	}
-	if onComplete != nil {
-		onComplete(PutResult{Delivered: f.eng.Now()})
 	}
 }
 
 // NewFabric creates an empty fabric on the given event engine.
 func NewFabric(engine *sim.Engine, cfg Config) *Fabric {
 	return &Fabric{
-		eng:     engine,
-		cfg:     cfg,
-		wires:   map[[2]int]*sim.Resource{},
-		rng:     sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
-		domains: map[int]int{},
-		uplinks: map[[2]int]*sim.Resource{},
+		eng:    engine,
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed ^ 0x73696d6e6574), // "simnet"
+		shards: map[int]*fabShard{},
 	}
 }
 
-// Engine returns the event clock the fabric schedules on.
+// Engine returns the default event clock (shard 0's under a group).
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Lookahead implements fabric.ShardedTransport: every cross-shard
+// interaction pays at least the spine hop plus the base one-way latency
+// (arrival = tx + wires + uplink + UplinkHopLat + (PutBaseLat-NicPerMsg)
+// >= issue + NicPerMsg + UplinkHopLat + PutBaseLat - NicPerMsg).
+func (f *Fabric) Lookahead() sim.Duration {
+	return model.UplinkHopLat + model.PutBaseLat
+}
+
+// BindGroup implements fabric.ShardedTransport. It must run before any
+// port attaches; domain labels assigned afterwards must be group shard
+// indices.
+func (f *Fabric) BindGroup(g *sim.Group) {
+	if len(f.nics) > 0 {
+		panic("simnet: BindGroup after ports were attached")
+	}
+	f.group = g
+	f.eng = g.Engine(0)
+}
 
 // Attach adds a host to the fabric (fabric.Transport).
 func (f *Fabric) Attach(as *mem.AddressSpace, hier *memsim.Hierarchy) fabric.Port {
 	return f.AttachNIC(as, hier)
 }
 
+// shard returns (creating lazily) the ownership state of one domain.
+func (f *Fabric) shard(domain int) *fabShard {
+	sh, ok := f.shards[domain]
+	if !ok {
+		sh = &fabShard{uplinks: map[int]*sim.Resource{}}
+		f.shards[domain] = sh
+	}
+	return sh
+}
+
 // AssignDomain places a port into a fabric shard. Domain numbers are
-// arbitrary labels; equal labels share leaf-local wiring. Ports of other
-// backends are ignored.
+// arbitrary labels (group shard indices when a group is bound); equal
+// labels share leaf-local wiring. Ports of other backends are ignored.
+// It must be called before the port carries traffic.
 func (f *Fabric) AssignDomain(p fabric.Port, domain int) {
-	if n, ok := p.(*NIC); ok {
-		f.domains[n.ID] = domain
+	n, ok := p.(*NIC)
+	if !ok {
+		return
+	}
+	n.domain = domain
+	n.shard = f.shard(domain)
+	if f.group != nil {
+		if domain < 0 || domain >= f.group.Shards() {
+			panic(fmt.Sprintf("simnet: domain %d outside engine group (%d shards)", domain, f.group.Shards()))
+		}
+		n.eng = f.group.Engine(domain)
 	}
 }
 
 // DomainOf reports a port's fabric shard (0 when never assigned).
 func (f *Fabric) DomainOf(p fabric.Port) int {
 	if n, ok := p.(*NIC); ok {
-		return f.domains[n.ID]
+		return n.domain
 	}
 	return 0
 }
 
-// wire returns the directional wire resource between two NIC ids. Labels
-// are lazy: an N-node mesh mints N² wires, and nothing formats a name
-// unless a trace actually prints it.
-func (f *Fabric) wire(src, dst int) *sim.Resource {
-	k := [2]int{src, dst}
-	w, ok := f.wires[k]
+// wire returns the directional wire resource from this NIC to dst. Wires
+// are owned by the sending NIC's shard (only its shard claims them), and
+// labels are lazy: an N-node mesh mints N² wires, and nothing formats a
+// name unless a trace actually prints it.
+func (n *NIC) wire(dst int) *sim.Resource {
+	w, ok := n.wires[dst]
 	if !ok {
+		src := n.ID
 		w = sim.NewResourceLazy(func() string { return fmt.Sprintf("wire %d->%d", src, dst) })
-		f.wires[k] = w
+		n.wires[dst] = w
 	}
 	return w
 }
 
 // uplink returns the shared directional spine resource between two fabric
-// shards. All NIC pairs crossing the same domain pair contend on it.
+// shards. All NIC pairs crossing the same domain pair contend on it; all
+// of those issuers live in srcDom, whose shard owns the resource.
 func (f *Fabric) uplink(srcDom, dstDom int) *sim.Resource {
-	k := [2]int{srcDom, dstDom}
-	u, ok := f.uplinks[k]
+	sh := f.shard(srcDom)
+	u, ok := sh.uplinks[dstDom]
 	if !ok {
 		u = sim.NewResourceLazy(func() string { return fmt.Sprintf("uplink %d->%d", srcDom, dstDom) })
-		f.uplinks[k] = u
+		sh.uplinks[dstDom] = u
 	}
 	return u
 }
@@ -222,15 +363,33 @@ type Stats struct {
 
 // NIC is one host adapter. It owns the host's registrations and its
 // transmit queue, and delivers inbound traffic into the host's address
-// space and cache hierarchy.
+// space and cache hierarchy. Under a bound engine group a NIC belongs to
+// its domain's shard: its tx queue, wires, barriers, jitter stream, and
+// outbound stats are touched only by that shard's worker; its inbound
+// stats and delivery hooks only by deliveries executing on that same
+// shard.
 type NIC struct {
 	ID     int
 	fabric *Fabric
 	as     *mem.AddressSpace
 	hier   *memsim.Hierarchy // may be nil
 	tx     *sim.Resource
-	regs   map[RKey]*Registration
 	keyRng *sim.RNG
+	// jitterRng drives unordered-delivery jitter. It is per-NIC (split
+	// deterministically at attach) so draws depend only on this NIC's own
+	// issue sequence, never on the global interleaving of issuers.
+	jitterRng *sim.RNG
+	eng       *sim.Engine
+	domain    int
+	shard     *fabShard
+	wires     map[int]*sim.Resource
+
+	// regs is the registration table, copy-on-write: lookups (which
+	// cross-shard issuers perform at issue time) take an atomic snapshot;
+	// Register/Deregister swap in a fresh map. Registration churn is
+	// setup-path (channel creation, RIED swaps), never hot.
+	regs atomic.Pointer[map[RKey]*Registration]
+
 	// barrier is the fence point per destination: puts issued after a
 	// Fence are not delivered before it (used when Ordered is false).
 	barrier map[int]sim.Time
@@ -253,15 +412,20 @@ type deliveryHook struct {
 func (f *Fabric) AttachNIC(as *mem.AddressSpace, hier *memsim.Hierarchy) *NIC {
 	id := len(f.nics)
 	n := &NIC{
-		ID:      id,
-		fabric:  f,
-		as:      as,
-		hier:    hier,
-		tx:      sim.NewResourceLazy(func() string { return fmt.Sprintf("nic%d-tx", id) }),
-		regs:    map[RKey]*Registration{},
-		keyRng:  f.rng.Split(),
-		barrier: map[int]sim.Time{},
+		ID:        id,
+		fabric:    f,
+		as:        as,
+		hier:      hier,
+		tx:        sim.NewResourceLazy(func() string { return fmt.Sprintf("nic%d-tx", id) }),
+		keyRng:    f.rng.Split(),
+		jitterRng: f.rng.Split(),
+		eng:       f.eng,
+		shard:     f.shard(0),
+		wires:     map[int]*sim.Resource{},
+		barrier:   map[int]sim.Time{},
 	}
+	empty := map[RKey]*Registration{}
+	n.regs.Store(&empty)
 	f.nics = append(f.nics, n)
 	return n
 }
@@ -303,29 +467,47 @@ func (n *NIC) RegisterMemory(base uint64, size int, access Access) (RKey, error)
 	if _, err := n.as.ReadBytesDMA(base+uint64(size)-1, 1); err != nil {
 		return 0, fmt.Errorf("simnet: register: end unmapped: %w", err)
 	}
+	cur := *n.regs.Load()
 	var key RKey
 	for {
 		key = RKey(n.keyRng.Uint64())
 		if key == 0 {
 			continue
 		}
-		if _, dup := n.regs[key]; !dup {
+		if _, dup := cur[key]; !dup {
 			break
 		}
 	}
-	n.regs[key] = &Registration{Key: key, Base: base, Size: size, Access: access}
+	next := make(map[RKey]*Registration, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = &Registration{Key: key, Base: base, Size: size, Access: access}
+	n.regs.Store(&next)
 	return key, nil
 }
 
 // Deregister removes a registration.
 func (n *NIC) Deregister(key RKey) {
-	delete(n.regs, key)
+	cur := *n.regs.Load()
+	if _, ok := cur[key]; !ok {
+		return
+	}
+	next := make(map[RKey]*Registration, len(cur))
+	for k, v := range cur {
+		if k != key {
+			next[k] = v
+		}
+	}
+	n.regs.Store(&next)
 }
 
 // checkAccess validates an inbound operation against the target's
-// registrations. A failure models the hardware NAK.
+// registrations. A failure models the hardware NAK. It reads an atomic
+// snapshot of the table, so cross-shard issuers may call it from their
+// own shard's worker.
 func (n *NIC) checkAccess(key RKey, va uint64, size int, want Access) error {
-	reg, ok := n.regs[key]
+	reg, ok := (*n.regs.Load())[key]
 	if !ok {
 		return fmt.Errorf("simnet: invalid rkey %#x", key)
 	}
@@ -349,8 +531,14 @@ type PutResult = fabric.PutResult
 //     locally (buffer reusable) or is rejected;
 //   - delivery happens at the target with no CPU involvement: bytes land
 //     in memory (stashed into LLC when enabled) and the delivery hook runs.
+//
+// The entire arrival time — tx occupancy, wire serialization, spine
+// uplink contention — is computed at issue from issuer-owned resources;
+// under an engine group a cross-shard delivery is handed to the target's
+// shard while the completion stays an issuer-local event at the same
+// time.
 func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, onComplete func(PutResult)) {
-	eng := n.fabric.eng
+	eng := n.eng
 	dst, ok := dstPort.(*NIC)
 	if !ok {
 		n.stats.Rejected++
@@ -364,9 +552,12 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 	n.stats.PutsSent++
 	n.stats.BytesSent += uint64(size)
 
+	cross := n.fabric.group != nil && n.domain != dst.domain
+
 	// Snapshot the payload at issue time into a pooled staging buffer (the
 	// sender may legitimately repack the slot before delivery); the buffer
-	// returns to the pool the moment delivery lands.
+	// returns to the pool the moment delivery lands. Cross-shard puts use
+	// the concurrency-safe pool — the release happens on another worker.
 	src, err := n.as.ViewDMA(srcVA, size)
 	if err != nil {
 		n.stats.Rejected++
@@ -377,13 +568,18 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 		})
 		return
 	}
-	data := n.fabric.bufs.Get(size)
+	var data []byte
+	if cross {
+		data = n.fabric.crossBufs.Get(size)
+	} else {
+		data = n.shard.bufs.Get(size)
+	}
 	copy(data, src)
 
 	// NIC processing, then wire serialization.
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
-	wireDone := n.fabric.wire(n.ID, dst.ID).Claim(txDone, model.WireTime(size))
-	if sd, dd := n.fabric.DomainOf(n), n.fabric.DomainOf(dst); sd != dd {
+	wireDone := n.wire(dst.ID).Claim(txDone, model.WireTime(size))
+	if sd, dd := n.domain, dst.domain; sd != dd {
 		// Cross-shard hop: serialize through the shared spine uplink and
 		// pay the extra switch traversal.
 		wireDone = n.fabric.uplink(sd, dd).Claim(wireDone, model.WireTime(size))
@@ -394,7 +590,7 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 	if !n.fabric.cfg.Ordered {
 		// Unordered fabrics can reorder within a small window, but never
 		// ahead of an explicit fence.
-		jitter := sim.FromNanos(n.fabric.rng.Exp(120))
+		jitter := sim.FromNanos(n.jitterRng.Exp(120))
 		arrival = arrival.Add(jitter)
 	}
 	if b, ok := n.barrier[dst.ID]; ok && arrival < b {
@@ -403,7 +599,11 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 
 	if err := dst.checkAccess(key, dstVA, size, RemoteWrite); err != nil {
 		n.stats.Rejected++
-		n.fabric.bufs.Put(data)
+		if cross {
+			n.fabric.crossBufs.Put(data)
+		} else {
+			n.shard.bufs.Put(data)
+		}
 		eng.At(arrival, func() {
 			if onComplete != nil {
 				onComplete(PutResult{Err: err})
@@ -412,13 +612,33 @@ func (n *NIC) Put(dstPort fabric.Port, srcVA, dstVA uint64, size int, key RKey, 
 		return
 	}
 
-	eng.At(arrival, n.fabric.getJob(dst, dstVA, data, onComplete).run)
+	if !cross {
+		eng.At(arrival, n.shard.getJob(dst, dstVA, data, onComplete).run)
+		return
+	}
+	cj := crossJobPool.Get().(*crossJob)
+	cj.fab, cj.dst, cj.dstVA, cj.data = n.fabric, dst, dstVA, data
+	n.fabric.group.Handoff(n.domain, dst.domain, arrival, cj.run)
+	if onComplete != nil {
+		eng.At(arrival, n.shard.getDone(arrival, onComplete).run)
+	}
+}
+
+// crossShardGuard panics on operations the parallel engine does not
+// model across shards (reads and atomics would touch remote state from
+// the issuing shard's worker with no conservative window).
+func (n *NIC) crossShardGuard(dst *NIC, op string) {
+	if n.fabric.group != nil && n.domain != dst.domain {
+		panic(fmt.Sprintf("simnet: cross-shard %s %s->%s is not supported under the parallel engine group", op, n.Label(), dst.Label()))
+	}
 }
 
 // Get issues a one-sided RDMA read of size bytes from srcVA on the target
-// into dstVA locally.
+// into dstVA locally. Under an engine group it is shard-local only (the
+// Two-Chains runtime issues no cross-shard reads).
 func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComplete func(PutResult)) {
-	eng := n.fabric.eng
+	n.crossShardGuard(dst, "get")
+	eng := n.eng
 	n.stats.GetsSent++
 
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
@@ -426,11 +646,11 @@ func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComp
 	// a cross-shard read traverse the spine: the header-sized request pays
 	// the hop, the payload additionally contends on the response uplink.
 	reqArrive := txDone.Add(model.PutBaseLat / 2)
-	if n.fabric.DomainOf(n) != n.fabric.DomainOf(dst) {
+	if n.domain != dst.domain {
 		reqArrive = reqArrive.Add(model.UplinkHopLat)
 	}
-	wireDone := n.fabric.wire(dst.ID, n.ID).Claim(reqArrive, model.WireTime(size))
-	if sd, dd := n.fabric.DomainOf(dst), n.fabric.DomainOf(n); sd != dd {
+	wireDone := dst.wire(n.ID).Claim(reqArrive, model.WireTime(size))
+	if sd, dd := dst.domain, n.domain; sd != dd {
 		wireDone = n.fabric.uplink(sd, dd).Claim(wireDone, model.WireTime(size))
 		wireDone = wireDone.Add(model.UplinkHopLat)
 	}
@@ -466,9 +686,11 @@ func (n *NIC) Get(dst *NIC, remoteVA, localVA uint64, size int, key RKey, onComp
 }
 
 // AtomicFetchAdd performs a remote 64-bit fetch-and-add at dstVA,
-// delivering the previous value to the callback.
+// delivering the previous value to the callback. Shard-local only under
+// an engine group.
 func (n *NIC) AtomicFetchAdd(dst *NIC, dstVA uint64, add uint64, key RKey, onComplete func(old uint64, res PutResult)) {
-	eng := n.fabric.eng
+	n.crossShardGuard(dst, "atomic")
+	eng := n.eng
 	n.stats.AtomicsSent++
 	txDone := n.tx.Claim(eng.Now(), model.NicPerMsg)
 	arrival := txDone.Add(model.PutBaseLat)
@@ -513,7 +735,17 @@ func (n *NIC) Fence(dstPort fabric.Port) {
 	if !ok {
 		return
 	}
-	latest := n.fabric.wire(n.ID, dst.ID).FreeAt().Add(model.PutBaseLat)
+	latest := n.wire(dst.ID).FreeAt()
+	if sd, dd := n.domain, dst.domain; sd != dd {
+		// Cross-domain puts additionally ride the spine: cover the
+		// uplink's queue and the extra hop, or a post-fence put clamped
+		// to `latest` could overtake a pre-fence put still waiting there.
+		if u := n.fabric.uplink(sd, dd).FreeAt(); u > latest {
+			latest = u
+		}
+		latest = latest.Add(model.UplinkHopLat)
+	}
+	latest = latest.Add(model.PutBaseLat)
 	if !n.fabric.cfg.Ordered {
 		// Cover the jitter window too.
 		latest = latest.Add(sim.FromNanos(1000))

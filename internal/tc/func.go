@@ -16,6 +16,7 @@ import (
 type Func struct {
 	sys       *System
 	src       int
+	shard     int // src's fabric shard: the future-pool lane Calls use
 	pkg, elem string
 	bounds    []*core.Bound // indexed by destination node
 }
@@ -38,7 +39,8 @@ func (s *System) Func(src int, pkg, elem string) (*Func, error) {
 	if e.Kind != core.ElemJam {
 		return nil, fmt.Errorf("tc: func: element %q in package %q is a %s, not a jam", elem, pkg, e.Kind)
 	}
-	return &Func{sys: s, src: src, pkg: pkg, elem: elem, bounds: make([]*core.Bound, s.mesh.Nodes())}, nil
+	return &Func{sys: s, src: src, shard: s.mesh.ShardOf(src), pkg: pkg, elem: elem,
+		bounds: make([]*core.Bound, s.mesh.Nodes())}, nil
 }
 
 // Source returns the handle's sending node.
@@ -138,7 +140,7 @@ func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 	if cfg.burst {
 		n = len(cfg.batch)
 	}
-	fu := f.sys.newFuture(n)
+	fu := f.sys.newFuture(f.shard, n)
 	if n == 0 {
 		fu.resolve()
 		return fu
@@ -222,6 +224,7 @@ type Result struct {
 type Future struct {
 	sys      *System
 	eng      *sim.Engine
+	shard    int // pool lane (the source node's fabric shard)
 	expect   int
 	resolved bool
 	observed bool // Done/Await/Retain seen: caller keeps the handle
@@ -238,16 +241,20 @@ type Future struct {
 	completeCb func(core.Result)
 }
 
-// newFuture takes a future from the system pool (or mints one with its
-// prebound adapters) and resets it for a call expecting n completions.
-func (s *System) newFuture(expect int) *Future {
+// newFuture takes a future from the source shard's pool lane (or mints
+// one with its prebound adapters) and resets it for a call expecting n
+// completions. A future lives entirely on its source shard — issue,
+// resolution, and recycling — so the lanes need no locking even under
+// the parallel engine.
+func (s *System) newFuture(shard, expect int) *Future {
 	var fu *Future
-	if n := len(s.futures); n > 0 {
-		fu = s.futures[n-1]
-		s.futures[n-1] = nil
-		s.futures = s.futures[:n-1]
+	lane := s.futures[shard]
+	if n := len(lane); n > 0 {
+		fu = lane[n-1]
+		lane[n-1] = nil
+		s.futures[shard] = lane[:n-1]
 	} else {
-		fu = &Future{sys: s, eng: s.Engine()}
+		fu = &Future{sys: s, shard: shard, eng: s.mesh.Cluster.EngineFor(shard)}
 		fu.infoCb = fu.completeInfo
 		fu.completeCb = fu.complete
 	}
@@ -265,7 +272,7 @@ func (fu *Future) recycle() {
 		return
 	}
 	fu.free = true
-	fu.sys.futures = append(fu.sys.futures, fu)
+	fu.sys.futures[fu.shard] = append(fu.sys.futures[fu.shard], fu)
 }
 
 // completeInfo folds one mailbox-level completion into the aggregate.
@@ -398,7 +405,7 @@ func (fu *Future) Done(cb func(Result)) *Future {
 func (fu *Future) Await() (Result, error) {
 	fu.observed = true
 	for !fu.resolved {
-		if !fu.eng.Step() {
+		if !fu.sys.step() {
 			return fu.res, fmt.Errorf("tc: await: simulation quiescent with future unresolved (%d/%d messages)",
 				fu.res.N, fu.expect)
 		}

@@ -14,13 +14,25 @@ import (
 // subsumes the former Cluster/Mesh split: a cluster is a 2-node System.
 type System struct {
 	mesh *core.Mesh
-	// futures is the system's future pool (see Future's ownership rules).
-	// Like the engine it is single-threaded.
-	futures []*Future
+	// futures is the system's future pool, one free list per fabric shard
+	// (see Future's ownership rules): a future is taken, resolved, and
+	// recycled on its source node's shard, so under the parallel engine
+	// each list stays single-owner.
+	futures [][]*Future
 }
 
 // SystemOpt adjusts the deployment template before the system is built.
 type SystemOpt func(*core.MeshConfig)
+
+// WithWorkers requests the multi-core conservative engine: each fabric
+// shard's event loop runs on its own worker goroutine (up to n of them),
+// synchronized so digests and simulated times stay bit-identical to
+// single-engine execution. n <= 1 — the default — is exactly the
+// sequential engine; backends without fabric.ShardedTransport support
+// fall back to it too.
+func WithWorkers(n int) SystemOpt {
+	return func(c *core.MeshConfig) { c.Workers = n }
+}
 
 // WithShards partitions the nodes across fabric shards (contiguous
 // blocks; cross-shard traffic serializes through shared spine uplinks on
@@ -109,7 +121,7 @@ func NewSystem(n int, opts ...SystemOpt) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{mesh: m}, nil
+	return &System{mesh: m, futures: make([][]*Future, m.Cfg.Shards)}, nil
 }
 
 // Nodes returns the node count.
@@ -122,11 +134,63 @@ func (s *System) Node(i int) *core.Node { return s.mesh.Node(i) }
 // ShardOf reports the fabric shard node i lives in.
 func (s *System) ShardOf(i int) int { return s.mesh.ShardOf(i) }
 
-// Engine is the shared discrete-event clock.
+// Engine is the default discrete-event clock (shard 0's under the
+// parallel engine). Runtime scheduling for a specific node should use
+// After/EngineFor so events land on the owning shard.
 func (s *System) Engine() *sim.Engine { return s.mesh.Cluster.Eng }
 
-// Now returns the current simulated time.
-func (s *System) Now() sim.Time { return s.mesh.Cluster.Eng.Now() }
+// EngineFor returns the engine owning node i's events.
+func (s *System) EngineFor(node int) *sim.Engine {
+	return s.mesh.Cluster.EngineFor(s.mesh.ShardOf(node))
+}
+
+// After schedules fn d from now on node's shard engine — the safe way to
+// drive a node from outside the simulation (scenario drivers arming
+// senders). "Now" is the global clock: an idle shard's local clock lags
+// behind the latest executed event, and scheduling relative to it would
+// re-order against the sequential engine (or land in another shard's
+// past). It must be called from setup code or from events already
+// executing serially, never from another shard's concurrent window.
+func (s *System) After(node int, d sim.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	now := s.Now()
+	s.EngineFor(node).AtScheduled(now.Add(d), now, fn)
+}
+
+// Workers reports the worker count of the parallel engine (1 when it is
+// not engaged).
+func (s *System) Workers() int {
+	if g := s.mesh.Cluster.Group; g != nil {
+		return g.Workers()
+	}
+	return 1
+}
+
+// Sharded reports whether the parallel engine group is engaged.
+func (s *System) Sharded() bool { return s.mesh.Cluster.Group != nil }
+
+// HoldSerial forces the parallel engine to execute one globally-ordered
+// event at a time until the matching ReleaseSerial — the hook scenario
+// drivers use around zero-lookahead global actions (lazy channel setup,
+// RIED hot-swaps, phase barriers). It is a no-op on a sequential system.
+// Legal only before Run or from an event already executing serially.
+func (s *System) HoldSerial() {
+	if g := s.mesh.Cluster.Group; g != nil {
+		g.HoldSerial()
+	}
+}
+
+// ReleaseSerial releases one HoldSerial.
+func (s *System) ReleaseSerial() {
+	if g := s.mesh.Cluster.Group; g != nil {
+		g.ReleaseSerial()
+	}
+}
+
+// Now returns the current simulated time (across every shard).
+func (s *System) Now() sim.Time { return s.mesh.Cluster.Now() }
 
 // RNG is the system's deterministic random stream; all workload
 // randomness must come from it (or a Split) for replayable runs.
@@ -176,7 +240,7 @@ func (s *System) Channel(src, dst int) (*core.Channel, error) {
 // SendData sends a delivery-only frame (the without-execution mode of the
 // overhead experiments) and returns its future.
 func (s *System) SendData(src, dst int, usr []byte) *Future {
-	fu := s.newFuture(1)
+	fu := s.newFuture(s.mesh.ShardOf(src), 1)
 	ch, err := s.mesh.Channel(src, dst)
 	if err != nil {
 		fu.fail(err)
@@ -193,6 +257,16 @@ func (s *System) SendData(src, dst int, usr []byte) *Future {
 
 // Stats sums sender, receiver, and jam-cache counters over the system.
 func (s *System) Stats() core.MeshStats { return s.mesh.Stats() }
+
+// step executes the single next event — the globally earliest one under
+// the parallel engine (deterministic: serial stepping is totally
+// ordered) — and reports whether anything ran. Future.Await drives it.
+func (s *System) step() bool {
+	if g := s.mesh.Cluster.Group; g != nil {
+		return g.Step()
+	}
+	return s.mesh.Cluster.Eng.Step()
+}
 
 // Mesh exposes the underlying core deployment for callers that need the
 // full internal surface (the perf harness does).

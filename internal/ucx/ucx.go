@@ -51,16 +51,29 @@ type Worker struct {
 	Hier *memsim.Hierarchy
 	// CPU serializes the library's software overheads on this node.
 	CPU *sim.Resource
+	// Eng is the engine this worker's software costs schedule on — its
+	// fabric shard's engine under the parallel group engine, the single
+	// fabric engine otherwise.
+	Eng *sim.Engine
 }
 
-// NewWorker attaches a node to the fabric.
+// NewWorker attaches a node to the fabric on the fabric's default engine.
 func (c *Context) NewWorker(as *mem.AddressSpace, hier *memsim.Hierarchy) *Worker {
+	return c.NewWorkerOn(as, hier, c.Fabric.Engine())
+}
+
+// NewWorkerOn attaches a node to the fabric with its host-side events
+// pinned to eng — the engine of the fabric shard the node will live in.
+// The caller must keep the port's fabric-shard assignment consistent
+// with eng (core.Cluster does).
+func (c *Context) NewWorkerOn(as *mem.AddressSpace, hier *memsim.Hierarchy, eng *sim.Engine) *Worker {
 	return &Worker{
 		Ctx:  c,
 		NIC:  c.Fabric.Attach(as, hier),
 		AS:   as,
 		Hier: hier,
 		CPU:  sim.NewResource("ucx-cpu"),
+		Eng:  eng,
 	}
 }
 
@@ -96,7 +109,7 @@ func (w *Worker) Connect(peer *Worker) *Endpoint {
 	return &Endpoint{Local: w, Remote: peer, window: DefaultWindow}
 }
 
-func (ep *Endpoint) engine() *sim.Engine { return ep.Local.Ctx.Fabric.Engine() }
+func (ep *Endpoint) engine() *sim.Engine { return ep.Local.Eng }
 
 // Completed returns the number of standard-path operations completed.
 func (ep *Endpoint) Completed() uint64 { return ep.completed }

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+)
+
+// workerSweep is the worker-count axis of the parallel determinism
+// property: the sequential engine, two fixed parallel widths, and
+// whatever the host offers (deduplicated).
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
+}
+
+// parallelScenario builds the scenario the sweep runs for an arbitrary
+// registered traffic shape: big enough for four fabric shards and real
+// cross-shard traffic, small enough for the -race CI gate.
+func parallelScenario(traffic string, seed uint64, workers int) Scenario {
+	sc := DefaultScenario(Pattern(traffic), 9)
+	sc.Timing = true
+	sc.Burst = 4
+	sc.Rounds = 2
+	sc.Shards = 4
+	sc.Seed = seed
+	sc.Workers = workers
+	return sc
+}
+
+// TestWorkersSweepDeterminism is the registry-driven parallel-engine
+// property: for every registered traffic shape (third-party ones
+// included — registering is opting in) and two seeds, every worker count
+// produces the bit-identical digest, simulated time, and injection count
+// of the sequential engine. GOMAXPROCS is swept alongside so the
+// windowed regime actually runs preemptively scheduled where the host
+// allows it.
+func TestWorkersSweepDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, name := range TrafficNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{0x7c2c2021, 0x51edba5e} {
+				base, baseErr := Run(parallelScenario(name, seed, 1))
+				for _, w := range workerSweep()[1:] {
+					runtime.GOMAXPROCS(w)
+					res, err := Run(parallelScenario(name, seed, w))
+					// A shape that rejects the scenario must reject it
+					// identically at every worker count.
+					if baseErr != nil || err != nil {
+						if err == nil || baseErr == nil || err.Error() != baseErr.Error() {
+							t.Fatalf("seed %#x workers %d: error divergence: %v vs %v", seed, w, err, baseErr)
+						}
+						continue
+					}
+					if res.Digest != base.Digest {
+						t.Errorf("seed %#x workers %d: digest %#x, want %#x", seed, w, res.Digest, base.Digest)
+					}
+					if res.SimTime != base.SimTime {
+						t.Errorf("seed %#x workers %d: simulated time %d, want %d",
+							seed, w, int64(res.SimTime), int64(base.SimTime))
+					}
+					if res.Injections != base.Injections {
+						t.Errorf("seed %#x workers %d: injections %d, want %d", seed, w, res.Injections, base.Injections)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGoldenScenarios re-runs the golden table on the parallel
+// engine: the pinned digests and simulated times — captured on the
+// pre-PR-3 sequential implementation — must come out of the multi-core
+// engine unchanged, hot-swap phases included.
+func TestParallelGoldenScenarios(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(string(g.pattern), func(t *testing.T) {
+			sc := DefaultScenario(g.pattern, g.nodes)
+			sc.Rounds = 2
+			sc.Burst = g.burst
+			sc.Seed = g.seed
+			sc.Workers = 4
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest != g.digest {
+				t.Errorf("digest = %#x, want %#x", res.Digest, g.digest)
+			}
+			if int64(res.SimTime) != g.simTime {
+				t.Errorf("simulated time = %d, want %d", int64(res.SimTime), g.simTime)
+			}
+			if res.Injections != g.inj {
+				t.Errorf("injections = %d, want %d", res.Injections, g.inj)
+			}
+		})
+	}
+}
+
+// TestParallelComposedScenarios pins the phase-barrier machinery: the
+// multi-phase and open-loop compositions run bit-identically on the
+// parallel engine (phases hold it serial; the final phase opens up).
+func TestParallelComposedScenarios(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) Scenario
+	}{
+		{"kvstore", KVStoreScenario},
+		{"multiphase", MultiPhaseScenario},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sc := tc.mk(8)
+			sc.Shards = 4
+			base, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Workers = 4
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest != base.Digest || res.SimTime != base.SimTime || res.Injections != base.Injections {
+				t.Fatalf("parallel run diverged: %#x/%d/%d vs %#x/%d/%d",
+					res.Digest, int64(res.SimTime), res.Injections,
+					base.Digest, int64(base.SimTime), base.Injections)
+			}
+		})
+	}
+}
+
+// TestParallelRepeatable re-runs one parallel scenario twice in-process:
+// worker goroutines, hand-off lanes, and shared pools must leave no
+// cross-run state.
+func TestParallelRepeatable(t *testing.T) {
+	sc := DefaultScenario(AllToAll, 9)
+	sc.Rounds = 2
+	sc.Shards = 4
+	sc.Workers = 4
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.SimTime != b.SimTime {
+		t.Fatalf("back-to-back parallel runs diverged: %#x/%d vs %#x/%d",
+			a.Digest, int64(a.SimTime), b.Digest, int64(b.SimTime))
+	}
+	if a.Workers < 2 {
+		t.Fatalf("parallel engine did not engage: workers = %d", a.Workers)
+	}
+}

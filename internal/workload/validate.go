@@ -55,6 +55,9 @@ func (sc *Scenario) validateScalars() error {
 	if sc.Shards < 0 {
 		return &ScenarioError{Field: "Shards", Reason: fmt.Sprintf("negative shard count %d", sc.Shards)}
 	}
+	if sc.Workers < 0 {
+		return &ScenarioError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", sc.Workers)}
+	}
 	if sc.PayloadBytes < 0 {
 		return &ScenarioError{Field: "PayloadBytes", Reason: fmt.Sprintf("negative payload %d", sc.PayloadBytes)}
 	}

@@ -47,6 +47,8 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"twochains/internal/core"
 	"twochains/internal/sim"
@@ -142,6 +144,15 @@ type Scenario struct {
 	Pattern Pattern
 	// Nodes is the mesh size; Shards the fabric-shard count (0 = default).
 	Nodes, Shards int
+	// Workers > 1 runs the simulation on the multi-core conservative
+	// engine: each fabric shard's event loop on its own worker goroutine,
+	// with digests and simulated times bit-identical to Workers <= 1.
+	// The driver holds the engine serial across every zero-lookahead
+	// global action (lazy channel creation, phase barriers, RIED
+	// hot-swaps) and lets the steady state run in parallel windows.
+	// With Workers > 1 a scenario-level OnExecuted hook may be invoked
+	// from concurrent shard workers and must be safe for that.
+	Workers int
 	// Burst is the messages per batched injection; Rounds the traffic
 	// generator's repetition knob.
 	Burst, Rounds int
@@ -224,6 +235,7 @@ type PhaseResult struct {
 type Result struct {
 	Scenario   Scenario
 	Shards     int          // fabric shards actually used
+	Workers    int          // engine workers actually used (1 = sequential)
 	Injections int          // handlers executed fabric-wide
 	SimTime    sim.Duration // simulated wall time of the whole run
 	RatePerSec float64      // simulated injections per simulated second
@@ -301,7 +313,9 @@ func buildPlan(sc *Scenario, topo Topology, spec *phaseSpec, rng *sim.RNG) (*pha
 }
 
 // runner drives one scenario run: it owns the per-phase plans, the
-// phase barrier, the per-sender handle caches, and the swap machinery.
+// phase barrier, the per-sender handle caches, the swap machinery, and —
+// under the parallel engine — the serial holds that bracket every
+// zero-lookahead global action.
 type runner struct {
 	sc    *Scenario
 	sys   *tc.System
@@ -309,13 +323,59 @@ type runner struct {
 	plans []*phasePlan
 	cum   []int // cumulative planned messages through each phase
 
-	phase       int // index of the open phase
-	executedAll int // executions + errors so far, fabric-wide
+	phase       int          // index of the open phase
+	executedAll atomic.Int64 // executions + errors so far, fabric-wide
+	phaseExec   []atomic.Int64
 
-	payload  []byte
-	fns      []map[[2]string]*tc.Func // per sender: (pkg, elem) -> handle
+	payload []byte
+	fns     []map[[2]string]*tc.Func // per sender: (pkg, elem) -> handle
+
+	// failed is the senders' fast stop check; errMu guards the errors
+	// behind it (issue failures can surface on any shard worker).
+	failed   atomic.Bool
+	errMu    sync.Mutex
 	issueErr error
 	swapErr  error
+
+	// Parallel-engine serial holds. Phase barriers, the open phase's
+	// not-yet-created channels, and an armed mid-phase swap each pin the
+	// engine serial; the holds release at deterministic simulation events
+	// (last phase opened, last channel created, swap fired), so the
+	// window schedule — and with it the whole run — is a pure function of
+	// the scenario. Channel creation order matters down to node memory
+	// layout (a region's address feeds the cache model), which is why
+	// creations must happen in exact global event order.
+	sharded    bool
+	phasesHold bool
+	pairsHold  bool
+	swapHold   bool
+	missing    map[[2]int]bool // open phase's channels still to create
+}
+
+// fail records the first issue error and stops every sender.
+func (r *runner) fail(err error) {
+	r.errMu.Lock()
+	if r.issueErr == nil {
+		r.issueErr = err
+	}
+	r.errMu.Unlock()
+	r.failed.Store(true)
+}
+
+// onChannel observes every lazy channel creation and releases the
+// serial hold once the open phase's channel set is complete.
+func (r *runner) onChannel(src, dst int) {
+	if !r.pairsHold {
+		return
+	}
+	k := [2]int{src, dst}
+	if r.missing[k] {
+		delete(r.missing, k)
+		if len(r.missing) == 0 {
+			r.pairsHold = false
+			r.sys.ReleaseSerial()
+		}
+	}
 }
 
 // fnFor resolves (and caches) the sender's handle for one element — the
@@ -368,8 +428,9 @@ func (r *runner) performSwap(node int, app string) {
 }
 
 // openPhase performs the phase's planned swap, arms its SwapAtHalf
-// trigger against the swap node's current executed count, and starts
-// its senders.
+// trigger against the swap node's current executed count, pins the
+// engine serial while the phase has channels to create or a swap armed,
+// and starts its senders.
 func (r *runner) openPhase() {
 	pp := r.plans[r.phase]
 	if pp.spec.swap != nil {
@@ -377,6 +438,27 @@ func (r *runner) openPhase() {
 	}
 	if pp.swapNode >= 0 {
 		pp.swapTrigger = r.res.PerNode[pp.swapNode].Executed + pp.sent[pp.swapNode]/2
+	}
+	if r.sharded {
+		if pp.swapNode >= 0 && !pp.swapFired && !r.swapHold {
+			r.swapHold = true
+			r.sys.HoldSerial()
+		}
+		for k := range r.missing {
+			delete(r.missing, k)
+		}
+		for src := range pp.bursts {
+			for i := range pp.bursts[src] {
+				k := [2]int{src, pp.bursts[src][i].dst}
+				if !r.missing[k] && !r.sys.Mesh().HasChannel(src, k[1]) {
+					r.missing[k] = true
+				}
+			}
+		}
+		if len(r.missing) > 0 && !r.pairsHold {
+			r.pairsHold = true
+			r.sys.HoldSerial()
+		}
 	}
 	for src := range pp.bursts {
 		if len(pp.bursts[src]) == 0 {
@@ -392,12 +474,19 @@ func (r *runner) openPhase() {
 
 // advance opens phases until the open one still has unexecuted plan (or
 // the run is out of phases). Called at start and from the execution
-// hook each time a phase's plan completes.
+// hook each time a phase's plan completes. While a non-final phase is
+// open the engine is held serial (the phase barrier is a zero-lookahead
+// global action: the moment the count trips, senders on every shard arm
+// at the same instant).
 func (r *runner) advance() {
-	for r.phase < len(r.plans)-1 && r.executedAll >= r.cum[r.phase] {
+	for r.phase < len(r.plans)-1 && int(r.executedAll.Load()) >= r.cum[r.phase] {
 		r.res.Phases[r.phase].End = sim.Duration(r.sys.Now())
 		r.phase++
 		r.openPhase()
+		if r.phase == len(r.plans)-1 && r.phasesHold {
+			r.phasesHold = false
+			r.sys.ReleaseSerial()
+		}
 	}
 }
 
@@ -414,14 +503,14 @@ func (r *runner) armClosedSender(src int, queue []burst) {
 	localOpt := tc.Local()
 	optScratch := make([]tc.CallOpt, 0, 3)
 	fire = func() {
-		if next >= len(queue) || r.issueErr != nil {
+		if next >= len(queue) || r.failed.Load() {
 			return
 		}
 		b := &queue[next]
 		next++
 		fn, err := r.fnFor(s, b.mix.Pkg, b.mix.Elem)
 		if err != nil {
-			r.issueErr = err
+			r.fail(err)
 			return
 		}
 		callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
@@ -432,7 +521,7 @@ func (r *runner) armClosedSender(src int, queue []burst) {
 		if err := fu.IssueErr(); err != nil {
 			// Synchronous issue failure (bad element, torn-down
 			// destination): stop the sender.
-			r.issueErr = err
+			r.fail(err)
 			return
 		}
 		fu.Done(onDone)
@@ -441,7 +530,7 @@ func (r *runner) armClosedSender(src int, queue []burst) {
 		// per in-flight burst instead of allocating per burst.
 		fu.Release()
 	}
-	r.sys.Engine().After(0, fire)
+	r.sys.After(src, 0, fire)
 }
 
 // armOpenSender schedules every burst at its pre-drawn arrival offset
@@ -455,13 +544,13 @@ func (r *runner) armOpenSender(src int, queue []burst) {
 	optScratch := make([]tc.CallOpt, 0, 3)
 	for i := range queue {
 		b := &queue[i]
-		r.sys.Engine().After(b.at, func() {
-			if r.issueErr != nil {
+		r.sys.After(src, b.at, func() {
+			if r.failed.Load() {
 				return
 			}
 			fn, err := r.fnFor(src, b.mix.Pkg, b.mix.Elem)
 			if err != nil {
-				r.issueErr = err
+				r.fail(err)
 				return
 			}
 			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
@@ -470,7 +559,7 @@ func (r *runner) armOpenSender(src int, queue []burst) {
 			}
 			fu := fn.Call(b.dst, b.args[0], callOpts...)
 			if err := fu.IssueErr(); err != nil {
-				r.issueErr = err
+				r.fail(err)
 			}
 			// Fire and forget: the unobserved future recycles itself.
 		})
@@ -503,6 +592,7 @@ func Run(sc Scenario) (*Result, error) {
 		tc.WithSeed(sc.Seed),
 		tc.WithTiming(sc.Timing),
 		tc.WithBackend(sc.Backend),
+		tc.WithWorkers(sc.Workers),
 		tc.WithConfig(func(c *core.MeshConfig) { c.Geometry.FrameSize = frame }),
 	}
 	if sc.Shards > 0 {
@@ -528,19 +618,24 @@ func Run(sc Scenario) (*Result, error) {
 	res := &Result{
 		Scenario: sc,
 		Shards:   topo.Shards,
+		Workers:  sys.Workers(),
 		PerNode:  make([]NodeResult, sc.Nodes),
 		Phases:   make([]PhaseResult, len(specs)),
 		HotNode:  -1,
 	}
 	r := &runner{
-		sc:      &sc,
-		sys:     sys,
-		res:     res,
-		plans:   make([]*phasePlan, len(specs)),
-		cum:     make([]int, len(specs)),
-		fns:     make([]map[[2]string]*tc.Func, sc.Nodes),
-		payload: make([]byte, sc.PayloadBytes),
+		sc:        &sc,
+		sys:       sys,
+		res:       res,
+		plans:     make([]*phasePlan, len(specs)),
+		cum:       make([]int, len(specs)),
+		phaseExec: make([]atomic.Int64, len(specs)),
+		fns:       make([]map[[2]string]*tc.Func, sc.Nodes),
+		payload:   make([]byte, sc.PayloadBytes),
+		sharded:   sys.Sharded(),
+		missing:   map[[2]int]bool{},
 	}
+	sys.Mesh().OnChannelCreated = r.onChannel
 	for i := range r.payload {
 		r.payload[i] = byte(i*31 + 7)
 	}
@@ -568,6 +663,10 @@ func Run(sc Scenario) (*Result, error) {
 	for i := 0; i < sc.Nodes; i++ {
 		node := i
 		sys.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+			// Per-node state belongs to the executing node's shard; the
+			// fabric-wide tallies are atomic; everything phase-advancing
+			// or swap-triggering only ever runs while the engine is
+			// serial (the corresponding holds pin it).
 			nr := &res.PerNode[node]
 			if err != nil {
 				nr.Errors++
@@ -582,19 +681,33 @@ func Run(sc Scenario) (*Result, error) {
 			if node == pp.swapNode && !pp.swapFired && nr.Executed >= pp.swapTrigger {
 				pp.swapFired = true
 				r.performSwap(pp.swapNode, pp.swapApp)
+				if r.swapHold {
+					r.swapHold = false
+					r.sys.ReleaseSerial()
+				}
 			}
-			r.executedAll++
-			res.Phases[r.phase].Executed++
+			r.executedAll.Add(1)
+			r.phaseExec[r.phase].Add(1)
 			r.advance()
 		}
 	}
 
 	r.phase = 0
+	if r.sharded && len(specs) > 1 {
+		// The phase barrier is a zero-lookahead global action: hold the
+		// engine serial until the final phase opens.
+		r.phasesHold = true
+		sys.HoldSerial()
+	}
 	r.openPhase()
 	// Chain straight through leading zero-traffic phases (e.g. a
 	// swap-only opener): nothing will execute to advance past them.
 	r.advance()
 	sys.Run()
+	sys.Mesh().OnChannelCreated = nil
+	for i := range specs {
+		res.Phases[i].Executed = int(r.phaseExec[i].Load())
+	}
 	if r.issueErr != nil {
 		return nil, r.issueErr
 	}
