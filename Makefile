@@ -6,19 +6,22 @@
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR5.json by
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR6.json by
 # default; override with BENCH_OUT=...) — the machine-readable perf
 # trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
 # vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
 # including the 64/128-node parallel-engine mesh pairs (workers=NumCPU
-# vs workers=1 twins of the same bit-identical simulation).
+# vs workers=1 twins of the same bit-identical simulation) and the
+# speculative-window variant. bench-smoke gates against the newest
+# recorded trajectory file ($(SMOKE_BASELINE)).
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
 # `go tool pprof`).
 
 GO ?= go
 GOFMT ?= gofmt
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
+SMOKE_BASELINE ?= BENCH_PR5.json
 
 .PHONY: check fmt-check vet build test bench-smoke bench-json profile perf examples
 
@@ -51,7 +54,7 @@ bench-smoke:
 	$(GO) test -short -run xxx -bench 'BenchmarkMesh|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 1x . \
 		> bench_smoke.out || { cat bench_smoke.out; rm -f bench_smoke.out; exit 1; }
 	@cat bench_smoke.out
-	@$(GO) run ./cmd/benchjson -smoke -baseline BENCH_PR4.json -metric sim_inj_per_sec -tol 0.25 < bench_smoke.out; \
+	@$(GO) run ./cmd/benchjson -smoke -baseline $(SMOKE_BASELINE) -metric sim_inj_per_sec -tol 0.25 < bench_smoke.out; \
 		st=$$?; rm -f bench_smoke.out; exit $$st
 	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
 

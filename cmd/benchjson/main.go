@@ -18,7 +18,10 @@
 // the recorded value, or the exit status is non-zero:
 //
 //	go test -run xxx -bench BenchmarkMesh -benchtime 1x . | \
-//	    go run ./cmd/benchjson -smoke -baseline BENCH_PR4.json -tol 0.25
+//	    go run ./cmd/benchjson -smoke -baseline BENCH_PR5.json -tol 0.25
+//
+// Smoke mode prints the baseline file it compared against, and a missing
+// baseline file fails with instructions instead of a raw read error.
 package main
 
 import (
@@ -107,8 +110,13 @@ func parse(r *bufio.Scanner) (map[string]*Entry, error) {
 // (using its Current section) or a bare name->Entry map.
 func loadBaseline(path string) (map[string]*Entry, error) {
 	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf(
+			"benchjson: baseline file %s does not exist — record it first (`make bench-json BENCH_OUT=%s`) or point -baseline at the newest recorded trajectory file",
+			path, path)
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("benchjson: baseline %s: %v", path, err)
 	}
 	var asFile File
 	if err := json.Unmarshal(raw, &asFile); err == nil && len(asFile.Current) > 0 {
@@ -123,10 +131,12 @@ func loadBaseline(path string) (map[string]*Entry, error) {
 
 // smokeCheck compares one metric of every benchmark present in both
 // runs against the recorded baseline with a relative tolerance band; it
-// reports the comparisons and whether any regressed below the band.
-func smokeCheck(cur, base map[string]*Entry, metric string, tol float64) bool {
+// reports which baseline file the comparisons are against and whether
+// any regressed below the band.
+func smokeCheck(cur, base map[string]*Entry, basePath, metric string, tol float64) bool {
 	ok := true
 	compared := 0
+	fmt.Printf("benchjson smoke: comparing %s against baseline file %s\n", metric, basePath)
 	for name, b := range base {
 		c, present := cur[name]
 		if !present || c.Metrics == nil || b.Metrics == nil {
@@ -182,7 +192,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if !smokeCheck(cur, base, *metric, *tol) {
+		if !smokeCheck(cur, base, *baselinePath, *metric, *tol) {
 			os.Exit(1)
 		}
 		return

@@ -27,6 +27,8 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		workers = flag.Int("workers", runtime.NumCPU(),
 			"engine workers for parallel-capable experiments (mesh); 1 = sequential")
+		spec = flag.Float64("spec", 0,
+			"speculative-window budget in simulated microseconds for parallel experiments; 0 = conservative")
 	)
 	flag.Parse()
 
@@ -41,7 +43,7 @@ func main() {
 		return
 	}
 
-	opts := perf.Options{Scale: *scale, Workers: *workers}
+	opts := perf.Options{Scale: *scale, Workers: *workers, SpecUS: *spec}
 	run := func(e perf.Experiment) error {
 		start := time.Now()
 		tab, err := e.Run(opts)

@@ -38,6 +38,12 @@ type ClusterConfig struct {
 	// partitions by. Node placement stays the caller's job (AddNodeShard /
 	// Fabric.AssignDomain must agree with it).
 	Shards int
+	// Speculation is the parallel engine's speculative-window budget: how
+	// far past the conservative horizon a shard may run when the
+	// reachability bound allows it (sim.Group.SetSpeculation). Zero — the
+	// default — keeps windows strictly conservative; results are
+	// bit-identical either way.
+	Speculation sim.Duration
 }
 
 // DefaultClusterConfig matches the paper's testbed.
@@ -72,9 +78,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		panic("core: " + err.Error())
 	}
 	c := &Cluster{Eng: eng, Fabric: fab, Ctx: ucx.NewContext(fab)}
+	if cfg.Workers > cfg.Shards {
+		// More workers than shards is pure waste: a worker can only ever
+		// own whole shards, so the excess goroutines would idle at every
+		// barrier. tcperf/tcrun default Workers to NumCPU regardless of
+		// the shard count, so clamp here rather than in every driver.
+		cfg.Workers = cfg.Shards
+	}
 	if cfg.Workers > 1 && cfg.Shards > 1 {
 		if st, ok := fab.(fabric.ShardedTransport); ok {
 			g := sim.NewGroup(cfg.Shards, cfg.Workers, st.Lookahead())
+			if cfg.Speculation > 0 {
+				g.SetSpeculation(cfg.Speculation)
+			}
 			st.BindGroup(g)
 			c.Group = g
 			c.Eng = g.Engine(0)

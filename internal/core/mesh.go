@@ -24,7 +24,11 @@ type MeshConfig struct {
 	// digests and simulated times bit-identical to single-engine
 	// execution. Needs a backend implementing fabric.ShardedTransport
 	// (the default "simnet" does); others fall back to one engine.
+	// Clamped to the (resolved) shard count — a worker owns whole shards.
 	Workers int
+	// Speculation is the parallel engine's speculative-window budget
+	// (see ClusterConfig.Speculation). Ignored unless Workers > 1.
+	Speculation sim.Duration
 
 	Cluster ClusterConfig
 	Node    NodeConfig
@@ -137,9 +141,16 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	if cfg.Geometry.FrameSize == 0 {
 		cfg.Geometry.FrameSize = def.FrameSize
 	}
+	if cfg.Workers > cfg.Shards {
+		// A worker owns whole shards; surplus workers would only idle at
+		// every window barrier (NewCluster clamps too — this keeps the
+		// recorded Cfg.Workers honest for Result reporting).
+		cfg.Workers = cfg.Shards
+	}
 	if cfg.Workers > 1 {
 		cfg.Cluster.Workers = cfg.Workers
 		cfg.Cluster.Shards = cfg.Shards
+		cfg.Cluster.Speculation = cfg.Speculation
 	}
 	cl := NewCluster(cfg.Cluster)
 	m := &Mesh{

@@ -1,0 +1,52 @@
+package sim
+
+// Arena is a chunked bump allocator for byte buffers owned by one shard.
+// It exists so the per-shard BufPools of the parallel engine can satisfy
+// class misses from shard-local chunks instead of individual Go heap
+// allocations: one worker's steady-state buffer churn then touches memory
+// carved from a handful of large chunks it allocated itself, rather than
+// interleaving small objects with every other shard on the shared heap.
+//
+// The arena never frees individual buffers — recycling is the pool's job
+// (Alloc hands out power-of-two capacities so the pool can class them) —
+// and it is not safe for concurrent use, matching BufPool's single-owner
+// contract.
+type Arena struct {
+	chunk     []byte // current chunk; len is the high-water mark
+	chunkSize int
+	chunks    int // chunks allocated (stats/tests)
+}
+
+// defaultArenaChunk is the chunk size NewArena uses for size <= 0.
+const defaultArenaChunk = 256 << 10
+
+// NewArena returns an arena carving buffers out of chunkSize-byte chunks
+// (a default is applied when chunkSize <= 0).
+func NewArena(chunkSize int) *Arena {
+	if chunkSize <= 0 {
+		chunkSize = defaultArenaChunk
+	}
+	return &Arena{chunkSize: chunkSize}
+}
+
+// Alloc returns a zeroed buffer of length n and capacity c (c >= n).
+// Requests larger than the chunk size fall through to a direct
+// allocation; everything else is bumped off the current chunk.
+func (a *Arena) Alloc(n, c int) []byte {
+	if c < n {
+		c = n
+	}
+	if c > a.chunkSize {
+		return make([]byte, n, c)
+	}
+	if cap(a.chunk)-len(a.chunk) < c {
+		a.chunk = make([]byte, 0, a.chunkSize)
+		a.chunks++
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[:off+c]
+	return a.chunk[off : off+n : off+c]
+}
+
+// Chunks reports how many chunks the arena has allocated.
+func (a *Arena) Chunks() int { return a.chunks }

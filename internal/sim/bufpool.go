@@ -20,7 +20,14 @@ const bufClasses = 24
 // at slice-append cost with no interface boxing.
 type BufPool struct {
 	classes [bufClasses][][]byte
+	// arena, when attached, backs class misses with shard-local chunked
+	// allocation instead of individual heap objects (see Arena).
+	arena *Arena
 }
+
+// AttachArena backs the pool's fresh allocations with a (attach nil to
+// detach). The arena must share the pool's owner: both are single-owner.
+func (p *BufPool) AttachArena(a *Arena) { p.arena = a }
 
 // Get returns a buffer of length n. Contents are unspecified.
 func (p *BufPool) Get(n int) []byte {
@@ -36,6 +43,11 @@ func (p *BufPool) Get(n int) []byte {
 		l[len(l)-1] = nil
 		p.classes[k] = l[:len(l)-1]
 		return b[:n]
+	}
+	if p.arena != nil {
+		// Power-of-two capacity keeps arena-carved buffers recyclable
+		// through Put's size classing.
+		return p.arena.Alloc(n, 1<<k)
 	}
 	return make([]byte, n, 1<<k)
 }

@@ -3,13 +3,14 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
 // Group is the multi-core conservative simulation engine: one Engine per
-// fabric shard, each advanced by a worker goroutine, synchronized so that
-// digests and simulated times are bit-identical to running everything on
-// a single engine.
+// fabric shard, advanced by core-pinned worker goroutines, synchronized so
+// that digests and simulated times are bit-identical to running everything
+// on a single engine.
 //
 // # Execution model
 //
@@ -36,6 +37,33 @@ import (
 // order — the same order a single engine's scheduling would have given
 // them — before the next round.
 //
+// The coordinator is itself an executor: it owns the first shard block
+// (assign[0]) and runs it inline between releasing a window and waiting at
+// the barrier, so only workers-1 goroutines are spawned and no core burns
+// in a pure wait loop. Barrier waits on both sides are hybrid: a bounded
+// polite spin (runtime.Gosched) for the common fast hand-off, then a
+// sync.Cond park so oversubscribed hosts (workers ≥ cores) stop paying a
+// spinning core per shard. Spawned workers lock their OS thread for the
+// duration of a run, pinning each shard block to one kernel thread.
+//
+// Speculative windows (SetSpeculation): each shard s may run past H up to
+// bound F_s = min(min_{i≠s} t_i + L, H + budget), where
+// t_i = min(next_i, min_{j≠i} next_j + L) lower-bounds shard i's earliest
+// future execution instant. Every execution on shard i happens at or
+// after t_i (local events are at or after next_i; any arrival into i was
+// issued by an execution elsewhere, which is at or after the global
+// minimum, and arrives a lookahead later — at or after t_i). Hence every
+// future arrival into s lands at or after min_{i≠s} t_i + L = F_s, and
+// executing s strictly before F_s is as safe as the conservative horizon:
+// under a correct backend nothing ever lands inside a speculated range.
+// F_s ≥ H always, and is strictly greater exactly for asymmetric
+// (lookahead-poor) schedules where one shard leads the pack — the leader
+// gets up to one extra lookahead of headroom per window. Each engine
+// snapshots its schedule before the speculative stretch; a merged arrival
+// landing inside it means the backend broke its Lookahead contract, and
+// the group rolls the schedule back for a coherent diagnostic before
+// failing loudly.
+//
 // Holds only ever release (the sensitive prefix of a run is serial, the
 // steady state parallel); the serial->windowed transition detaches the
 // shared sequence counter once, keeping per-shard counters monotone.
@@ -43,34 +71,45 @@ type Group struct {
 	engines   []*Engine
 	lookahead Duration
 	workers   int
+	spec      Duration // speculation budget past the horizon (0 = off)
 
 	seq      uint64 // shared scheduling counter while attached
 	attached bool
 	holds    int
+	windows  uint64 // parallel windows executed (engagement metric)
 
 	// windowed is true only between a window wake and its barrier. It is
 	// written by the coordinator before the round release and read by
 	// workers after observing the round counter, so the atomics below
-	// order every access.
+	// order every access (as they do horizon and bounds).
 	windowed bool
+	horizon  Time   // current window's conservative horizon H
+	bounds   []Time // per-shard window bound (== horizon unless speculating)
+	next     []Time // coordinator scratch: per-shard head times
+	tmin     []Time // coordinator scratch: per-shard earliest-execution bounds
 
 	// queues[src][dst] is the cross-shard hand-off lane: appended to only
-	// by src's worker during a window, drained only by the coordinator at
-	// the barrier.
+	// by src's executor during a window, drained only by the coordinator
+	// at the barrier.
 	queues [][][]handoff
 	merge  []handoff // coordinator scratch for per-destination merging
 
-	// Worker machinery: workers spin on round (with Gosched) waiting for
-	// the next window, run their shards to horizon, then bump done.
-	round   atomic.Uint64
-	horizon atomic.Int64
-	done    atomic.Int64
-	acks    atomic.Int64
-	quit    atomic.Bool
-	running bool
-	failed  bool
-	assign  [][]int // worker index -> owned shard indices
-	failure atomic.Pointer[panicValue]
+	// Barrier machinery. The atomics are the fast path (bounded spin); pmu
+	// with the two conds is the slow path. round releases a window to the
+	// workers, done counts finished workers back in, acks counts quit
+	// acknowledgements; wakeCond parks workers between windows, idleCond
+	// parks the coordinator waiting for the fleet.
+	round    atomic.Uint64
+	done     atomic.Int64
+	acks     atomic.Int64
+	quit     atomic.Bool
+	pmu      sync.Mutex
+	wakeCond *sync.Cond
+	idleCond *sync.Cond
+	running  bool
+	failed   bool
+	assign   [][]int // executor index -> owned shards; executor 0 is the coordinator
+	failure  atomic.Pointer[panicValue]
 }
 
 // handoff is one cross-shard event in flight between a window and its
@@ -109,7 +148,12 @@ func NewGroup(n, workers int, lookahead Duration) *Group {
 		workers:   workers,
 		attached:  true,
 		queues:    make([][][]handoff, n),
+		bounds:    make([]Time, n),
+		next:      make([]Time, n),
+		tmin:      make([]Time, n),
 	}
+	g.wakeCond = sync.NewCond(&g.pmu)
+	g.idleCond = sync.NewCond(&g.pmu)
 	for i := range g.engines {
 		g.engines[i] = NewEngine()
 		g.engines[i].shardID = uint32(i)
@@ -127,11 +171,34 @@ func NewGroup(n, workers int, lookahead Duration) *Group {
 // Shards returns the number of shard engines.
 func (g *Group) Shards() int { return len(g.engines) }
 
-// Workers returns the worker goroutine count windows run on.
+// Workers returns the executor count windows run on (the coordinator
+// included — only workers-1 goroutines are spawned).
 func (g *Group) Workers() int { return g.workers }
 
 // Lookahead returns the conservative cross-shard window.
 func (g *Group) Lookahead() Duration { return g.lookahead }
+
+// SetSpeculation sets the speculation budget: how far past the
+// conservative horizon a shard may run when the reachability bound allows
+// it (see the type comment). Zero — the default — disables speculation;
+// the budget must be set before Run and must not be negative.
+func (g *Group) SetSpeculation(d Duration) {
+	if d < 0 {
+		panic("sim: negative speculation budget")
+	}
+	if g.running {
+		panic("sim: SetSpeculation while windows are running")
+	}
+	g.spec = d
+}
+
+// Speculation returns the speculation budget (0 when disabled).
+func (g *Group) Speculation() Duration { return g.spec }
+
+// Windows reports how many parallel windows have executed — the
+// engagement metric distinguishing the windowed regime from a run that
+// silently degraded to serial stepping.
+func (g *Group) Windows() uint64 { return g.windows }
 
 // Engine returns shard i's engine. Scheduling directly on it is legal
 // from setup code and from events already running on that shard; all
@@ -284,6 +351,7 @@ func (g *Group) RunFor(d Duration) { g.RunUntil(g.Now().Add(d)) }
 const maxTime = Time(1<<63 - 1)
 
 func (g *Group) run(deadline Time) {
+	defer g.releaseLanes()
 	defer g.stopWorkers()
 	for {
 		minAt, ok := g.minNext()
@@ -303,7 +371,7 @@ func (g *Group) run(deadline Time) {
 			// Cap at the deadline but keep RunUntil's inclusive bound.
 			h = deadline + 1
 		}
-		g.window(h)
+		g.window(h, deadline)
 	}
 }
 
@@ -329,27 +397,106 @@ func (g *Group) minNext() (Time, bool) {
 	return bAt, best
 }
 
-// window runs one parallel round to horizon h and merges the hand-offs.
-func (g *Group) window(h Time) {
-	if g.workers <= 1 {
-		// Degenerate group: same windowed semantics on the caller's
-		// goroutine (exercised by tests; production single-worker setups
-		// collapse to a plain Engine upstream).
-		g.windowed = true
-		for _, e := range g.engines {
-			e.RunBefore(h)
+// addSat is saturating Time + Duration (d must be non-negative); shard
+// bound arithmetic treats maxTime as infinity.
+func addSat(t Time, d Duration) Time {
+	if t > maxTime-Time(d) {
+		return maxTime
+	}
+	return t + Time(d)
+}
+
+// twoMins returns the two smallest values of v and the index of the
+// first minimum. With fewer than two entries the missing slots read as
+// maxTime (infinity).
+func twoMins(v []Time) (m1, m2 Time, arg1 int) {
+	m1, m2, arg1 = maxTime, maxTime, -1
+	for i, t := range v {
+		if t < m1 {
+			m1, m2, arg1 = t, m1, i
+		} else if t < m2 {
+			m2 = t
 		}
-		g.windowed = false
-		g.mergeHandoffs()
+	}
+	return
+}
+
+// planBounds computes each shard's window bound. Without speculation
+// every bound is the conservative horizon h. With a budget, shard s may
+// run to F_s = min(min_{i≠s} t_i + L, h + budget) where
+// t_i = min(next_i, min_{j≠i} next_j + L) lower-bounds shard i's earliest
+// future execution instant (see the type comment for the argument); every
+// future arrival into s lands at or after F_s, so the extended window is
+// exactly as safe as the conservative one.
+func (g *Group) planBounds(h, deadline Time) {
+	n := len(g.engines)
+	if g.spec <= 0 || n == 1 {
+		for i := range g.bounds {
+			g.bounds[i] = h
+		}
 		return
 	}
-	g.startWorkers()
+	for i, e := range g.engines {
+		if at, _, ok := e.Peek(); ok {
+			g.next[i] = at
+		} else {
+			g.next[i] = maxTime
+		}
+	}
+	L := g.lookahead
+	n1, n2, na := twoMins(g.next)
+	for i := 0; i < n; i++ {
+		other := n1
+		if i == na {
+			other = n2
+		}
+		t := addSat(other, L)
+		if g.next[i] < t {
+			t = g.next[i]
+		}
+		g.tmin[i] = t
+	}
+	budgetCap := addSat(h, g.spec)
+	t1, t2, ta := twoMins(g.tmin)
+	for s := 0; s < n; s++ {
+		other := t1
+		if s == ta {
+			other = t2
+		}
+		b := addSat(other, L)
+		if b > budgetCap {
+			b = budgetCap
+		}
+		if b < h {
+			b = h
+		}
+		if deadline != maxTime && b > deadline {
+			b = deadline + 1
+		}
+		g.bounds[s] = b
+	}
+}
+
+// window runs one parallel round to horizon h (shards with speculative
+// headroom run to their bound) and merges the hand-offs. The coordinator
+// executes its own shard block inline; spawned workers handle the rest.
+func (g *Group) window(h, deadline Time) {
+	g.windows++
+	g.planBounds(h, deadline)
+	g.horizon = h
 	g.windowed = true
-	g.done.Store(0)
-	g.horizon.Store(int64(h))
-	g.round.Add(1) // release: workers observe horizon and windowed
-	for g.done.Load() < int64(g.workers) {
-		runtime.Gosched()
+	spawned := g.workers - 1
+	if spawned > 0 {
+		g.startWorkers()
+		g.done.Store(0)
+		g.round.Add(1) // release: workers observe windowed, horizon, bounds
+		g.pmu.Lock()
+		g.wakeCond.Broadcast()
+		g.pmu.Unlock()
+	}
+	g.runShards(g.assign[0])
+	if spawned > 0 {
+		g.awaitCount(&g.done, int64(spawned))
 	}
 	g.windowed = false
 	if p := g.failure.Load(); p != nil {
@@ -357,6 +504,36 @@ func (g *Group) window(h Time) {
 		panic(p.v)
 	}
 	g.mergeHandoffs()
+	g.commitSpeculation()
+}
+
+// runShards executes one executor's shard block for the current window:
+// the conservative stretch to the horizon, then — when the planned bound
+// exceeds it — a snapshotted speculative stretch to the bound. A model
+// panic is captured for the coordinator to rethrow after the barrier.
+func (g *Group) runShards(shards []int) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.failure.CompareAndSwap(nil, &panicValue{v: fmt.Errorf("sim: worker shard panic: %v", r)})
+		}
+	}()
+	h := g.horizon
+	for _, s := range shards {
+		e := g.engines[s]
+		e.RunBefore(h)
+		if b := g.bounds[s]; b > h {
+			e.BeginSpeculation()
+			e.RunBefore(b)
+		}
+	}
+}
+
+// commitSpeculation makes every shard's speculated stretch permanent —
+// called after the barrier merge validated that nothing landed inside one.
+func (g *Group) commitSpeculation() {
+	for _, e := range g.engines {
+		e.CommitSpeculation()
+	}
 }
 
 // mergeHandoffs drains every cross-shard lane and inserts each
@@ -384,12 +561,25 @@ func (g *Group) mergeHandoffs() {
 			continue
 		}
 		insertionSortHandoffs(batch)
+		e := g.engines[dst]
 		for i := range batch {
+			if batch[i].at < e.now && e.Speculating() {
+				// The backend broke its Lookahead contract: an arrival
+				// landed inside the speculated range. Model side effects
+				// cannot be unwound, so restore a coherent schedule for the
+				// diagnostic and fail loudly.
+				spec, reached := e.specNow, e.now
+				e.RollbackSpeculation()
+				g.failed = true
+				panic(fmt.Sprintf(
+					"sim: lookahead contract violated: shard %d -> %d arrival at %d lands inside the speculated range (%d, %d]; engine rolled back to %d",
+					batch[i].src, dst, int64(batch[i].at), int64(spec), int64(reached), int64(e.now)))
+			}
 			// Stamp the arrival with its issue time: the heap's
 			// (at, schedAt, seq) order then slots it among the
 			// destination's same-timestamp local events exactly where a
 			// single engine's scheduling would have.
-			g.engines[dst].atFrom(batch[i].at, batch[i].issueAt, batch[i].pSchedAt, uint32(batch[i].src), batch[i].fn)
+			e.atFrom(batch[i].at, batch[i].issueAt, batch[i].pSchedAt, uint32(batch[i].src), batch[i].fn)
 			batch[i] = handoff{}
 		}
 		g.merge = batch[:0]
@@ -413,7 +603,32 @@ func insertionSortHandoffs(b []handoff) {
 	}
 }
 
-// startWorkers spawns the window workers on first use within a run.
+// maxRetainedLane caps the hand-off capacity an idle Group keeps per
+// cross-shard lane between runs: peak-window lanes above it are released
+// so an O(shards²) lane matrix does not pin peak memory across scenarios.
+const maxRetainedLane = 64
+
+// releaseLanes drops oversized hand-off lanes and the merge scratch at
+// the end of a run (all are empty by then; only capacity is at stake).
+func (g *Group) releaseLanes() {
+	for src := range g.queues {
+		for dst, q := range g.queues[src] {
+			if cap(q) > maxRetainedLane {
+				g.queues[src][dst] = nil
+			}
+		}
+	}
+	g.merge = nil
+}
+
+// barrierSpin bounds the polite-spin phase of every barrier wait before
+// the waiter parks on a cond: long enough to catch the common sub-window
+// hand-off without a syscall, short enough that oversubscribed hosts
+// (workers ≥ cores) degrade to parking instead of burning cores.
+const barrierSpin = 256
+
+// startWorkers spawns the window workers (executors 1..workers-1) on
+// first use within a run; the coordinator is executor 0.
 func (g *Group) startWorkers() {
 	if g.running {
 		return
@@ -422,24 +637,25 @@ func (g *Group) startWorkers() {
 	g.quit.Store(false)
 	g.round.Store(0)
 	base := g.round.Load()
-	for w := 0; w < g.workers; w++ {
+	for w := 1; w < g.workers; w++ {
 		go g.worker(g.assign[w], base)
 	}
 }
 
 // stopWorkers retires the worker goroutines at the end of a run, so an
-// idle Group pins no spinning goroutines between runs.
+// idle Group pins no goroutines (or OS threads) between runs.
 func (g *Group) stopWorkers() {
 	if !g.running {
 		return
 	}
 	g.quit.Store(true)
 	g.round.Add(1)
+	g.pmu.Lock()
+	g.wakeCond.Broadcast()
+	g.pmu.Unlock()
 	// Wait for every worker to acknowledge, so a subsequent run's workers
 	// never race a retiring generation.
-	for g.acks.Load() < int64(g.workers) {
-		runtime.Gosched()
-	}
+	g.awaitCount(&g.acks, int64(g.workers-1))
 	g.running = false
 	g.acks.Store(0)
 	g.done.Store(0)
@@ -449,30 +665,69 @@ func (g *Group) stopWorkers() {
 	}
 }
 
-// worker is one window executor: it spins (politely) for the next round,
-// runs its shards to the horizon, and reports. A model panic inside an
-// event is captured and rethrown on the coordinator.
-func (g *Group) worker(shards []int, last uint64) {
-	for {
-		for g.round.Load() == last {
-			runtime.Gosched()
+// awaitRound is the worker side of the release barrier: a bounded polite
+// spin on the round counter, then a park on wakeCond (re-checked under
+// the lock, so a release between the last poll and the park is never
+// lost). It returns the observed round.
+func (g *Group) awaitRound(last uint64) uint64 {
+	for i := 0; i < barrierSpin; i++ {
+		if r := g.round.Load(); r != last {
+			return r
 		}
-		last = g.round.Load()
-		if g.quit.Load() {
-			g.acks.Add(1)
+		runtime.Gosched()
+	}
+	g.pmu.Lock()
+	for g.round.Load() == last {
+		g.wakeCond.Wait()
+	}
+	r := g.round.Load()
+	g.pmu.Unlock()
+	return r
+}
+
+// awaitCount is the coordinator side: spin briefly for c to reach n, then
+// park on idleCond until the last counted worker signals it.
+func (g *Group) awaitCount(c *atomic.Int64, n int64) {
+	for i := 0; i < barrierSpin; i++ {
+		if c.Load() >= n {
 			return
 		}
-		h := Time(g.horizon.Load())
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					g.failure.CompareAndSwap(nil, &panicValue{v: fmt.Errorf("sim: worker shard panic: %v", r)})
-				}
-			}()
-			for _, s := range shards {
-				g.engines[s].RunBefore(h)
+		runtime.Gosched()
+	}
+	g.pmu.Lock()
+	for c.Load() < n {
+		g.idleCond.Wait()
+	}
+	g.pmu.Unlock()
+}
+
+// signalIdle wakes a possibly-parked coordinator; called by the worker
+// whose count increment completed the barrier.
+func (g *Group) signalIdle() {
+	g.pmu.Lock()
+	g.idleCond.Broadcast()
+	g.pmu.Unlock()
+}
+
+// worker is one spawned window executor: it waits (spin, then park) for
+// the next round, runs its shard block to the planned bounds, and reports
+// back. The OS thread is locked for the run, pinning the shard block's
+// cache footprint to one kernel thread.
+func (g *Group) worker(shards []int, last uint64) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	spawned := int64(g.workers - 1)
+	for {
+		last = g.awaitRound(last)
+		if g.quit.Load() {
+			if g.acks.Add(1) == spawned {
+				g.signalIdle()
 			}
-		}()
-		g.done.Add(1)
+			return
+		}
+		g.runShards(shards)
+		if g.done.Add(1) == spawned {
+			g.signalIdle()
+		}
 	}
 }

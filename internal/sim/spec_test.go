@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineSpeculationRollback pins the snapshot/rollback contract:
+// rolling back restores the clock, the counters, and exactly the
+// pre-snapshot schedule — events executed during the speculated stretch
+// come back, events scheduled during it vanish.
+func TestEngineSpeculationRollback(t *testing.T) {
+	e := NewEngine()
+	var ran []int
+	e.At(10, func() { ran = append(ran, 10) })
+	e.At(20, func() {
+		ran = append(ran, 20)
+		e.After(5, func() { ran = append(ran, 25) })
+	})
+	e.At(30, func() { ran = append(ran, 30) })
+	e.RunBefore(20)
+	wantSeq, wantSteps := e.seq, e.nSteps
+	e.BeginSpeculation()
+	if !e.Speculating() {
+		t.Fatal("Speculating() false after BeginSpeculation")
+	}
+	e.RunBefore(40) // speculatively runs 20, 25, 30
+	if len(ran) != 4 {
+		t.Fatalf("speculated %d events, want 4 (ran %v)", len(ran)-1, ran)
+	}
+	e.RollbackSpeculation()
+	if e.Speculating() {
+		t.Fatal("Speculating() true after rollback")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %d after rollback, want 10", e.Now())
+	}
+	if e.seq != wantSeq || e.nSteps != wantSteps {
+		t.Fatalf("counters (%d, %d) after rollback, want (%d, %d)", e.seq, e.nSteps, wantSeq, wantSteps)
+	}
+	// The event scheduled during speculation (at 25) must be gone; the two
+	// pre-snapshot events (20, 30) must be back.
+	if e.Pending() != 2 {
+		t.Fatalf("%d pending after rollback, want 2", e.Pending())
+	}
+	ran = ran[:0]
+	e.Run()
+	want := []int{20, 25, 30}
+	if len(ran) != len(want) {
+		t.Fatalf("replay ran %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("replay ran %v, want %v", ran, want)
+		}
+	}
+}
+
+// TestEngineSpeculationCommit pins that a committed speculation leaves the
+// engine exactly where plain execution would have.
+func TestEngineSpeculationCommit(t *testing.T) {
+	run := func(spec bool) (trace []int, now Time, steps uint64) {
+		e := NewEngine()
+		for _, at := range []Time{5, 15, 25} {
+			at := at
+			e.At(at, func() {
+				trace = append(trace, int(at))
+				e.After(3, func() { trace = append(trace, int(at)+3) })
+			})
+		}
+		e.RunBefore(10)
+		if spec {
+			e.BeginSpeculation()
+		}
+		e.RunBefore(30)
+		if spec {
+			e.CommitSpeculation()
+		}
+		e.Run()
+		return trace, e.Now(), e.nSteps
+	}
+	pt, pn, ps := run(false)
+	st, sn, ss := run(true)
+	if pn != sn || ps != ss || len(pt) != len(st) {
+		t.Fatalf("committed speculation diverged: now %d/%d steps %d/%d", sn, pn, ss, ps)
+	}
+	for i := range pt {
+		if pt[i] != st[i] {
+			t.Fatalf("trace[%d] = %d, want %d", i, st[i], pt[i])
+		}
+	}
+}
+
+// specToy drives the toy hop model of TestGroupToyDeterminism with a
+// speculation budget; traces must be identical for every (workers,
+// budget) combination.
+func specToy(t *testing.T, workers int, budget Duration) (trace []int64, final Time, windows uint64) {
+	t.Helper()
+	const shards = 4
+	const look = Duration(100)
+	g := NewGroup(shards, workers, look)
+	if budget > 0 {
+		g.SetSpeculation(budget)
+	}
+	mu := make([][]int64, shards)
+	var hop func(s int, depth int, at Time)
+	hop = func(s int, depth int, at Time) {
+		mu[s] = append(mu[s], int64(at)*31+int64(s))
+		if depth == 0 {
+			return
+		}
+		g.Engine(s).After(Duration(3+depth%7), func() {
+			mu[s] = append(mu[s], int64(depth))
+		})
+		d := (s + 1) % shards
+		nextAt := g.Engine(s).Now().Add(look + Duration(depth%13))
+		g.Handoff(s, d, nextAt, func() { hop(d, depth-1, nextAt) })
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		// Staggered roots make the schedule asymmetric, so the
+		// reachability bound actually exceeds the horizon for the leader.
+		g.Engine(s).At(Time(1+s*40), func() { hop(s, 50, Time(1+s*40)) })
+	}
+	g.Run()
+	for s := 0; s < shards; s++ {
+		trace = append(trace, mu[s]...)
+	}
+	return trace, g.Now(), g.Windows()
+}
+
+// TestGroupSpeculativeDeterminism checks that speculative windows change
+// nothing observable: every worker count and budget produces the
+// sequential trace, bit for bit.
+func TestGroupSpeculativeDeterminism(t *testing.T) {
+	baseTrace, baseNow, _ := specToy(t, 1, 0)
+	for _, w := range []int{1, 2, 4} {
+		for _, b := range []Duration{0, 30, 250} {
+			tr, now, _ := specToy(t, w, b)
+			if now != baseNow {
+				t.Fatalf("workers=%d budget=%d: final time %d, want %d", w, b, now, baseNow)
+			}
+			if len(tr) != len(baseTrace) {
+				t.Fatalf("workers=%d budget=%d: trace length %d, want %d", w, b, len(tr), len(baseTrace))
+			}
+			for i := range tr {
+				if tr[i] != baseTrace[i] {
+					t.Fatalf("workers=%d budget=%d: trace[%d] = %d, want %d", w, b, i, tr[i], baseTrace[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupWindowsEngage pins the engagement metric: a hold-free run on a
+// multi-worker group must execute parallel windows, and the serial-hold
+// regime must not count any.
+func TestGroupWindowsEngage(t *testing.T) {
+	_, _, windows := specToy(t, 2, 0)
+	if windows == 0 {
+		t.Fatal("hold-free run executed zero parallel windows")
+	}
+	g := NewGroup(2, 2, 50)
+	g.HoldSerial()
+	g.Engine(0).At(10, func() {})
+	g.Engine(1).At(20, func() {})
+	g.Run()
+	if g.Windows() != 0 {
+		t.Fatalf("serial-hold run counted %d windows, want 0", g.Windows())
+	}
+}
+
+// TestGroupSpeculationViolationRollsBack pins the contract guard: a
+// backend hand-off violating the lookahead lands inside a speculated
+// range, and the group must roll the destination engine back to the
+// snapshot and panic with a diagnostic.
+func TestGroupSpeculationViolationRollsBack(t *testing.T) {
+	const look = Duration(100)
+	g := NewGroup(2, 2, look)
+	g.SetSpeculation(500)
+	e0 := g.Engine(0)
+	// Shard 0: dense local work so its speculative bound is used.
+	for at := Time(0); at <= 200; at += 10 {
+		e0.At(at, func() {})
+	}
+	// Shard 1 wakes at 50 and emits a hand-off arriving at 60 — far below
+	// the 100-tick lookahead it promised.
+	g.Engine(1).At(50, func() { g.Handoff(1, 0, 60, func() {}) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "lookahead contract violated") {
+			t.Fatalf("panic %v, want a lookahead-contract diagnostic", r)
+		}
+		// next_0=0, next_1=50: t_1 = min(50, 100) = 50, so shard 0's bound
+		// is t_1+look = 150 while the horizon is 100. The rollback must
+		// land shard 0 back on its last conservative event (90).
+		if e0.Speculating() {
+			t.Fatal("engine still speculating after rollback")
+		}
+		if e0.Now() >= 100 {
+			t.Fatalf("engine clock %d after rollback, want < horizon 100", e0.Now())
+		}
+	}()
+	g.Run()
+}

@@ -292,6 +292,10 @@ func (f *Fabric) shard(domain int) *fabShard {
 	sh, ok := f.shards[domain]
 	if !ok {
 		sh = &fabShard{uplinks: map[int]*sim.Resource{}}
+		// The shard's buffer pool draws class misses from a shard-local
+		// arena, so parallel windows allocate from per-shard chunks
+		// instead of contending on the shared heap.
+		sh.bufs.AttachArena(sim.NewArena(0))
 		f.shards[domain] = sh
 	}
 	return sh

@@ -34,6 +34,15 @@ func WithWorkers(n int) SystemOpt {
 	return func(c *core.MeshConfig) { c.Workers = n }
 }
 
+// WithSpeculation sets the parallel engine's speculative-window budget:
+// how far past the conservative horizon a shard may run when the
+// reachability bound allows it. Zero (the default) keeps windows strictly
+// conservative; either way results stay bit-identical to the sequential
+// engine. It has no effect without WithWorkers.
+func WithSpeculation(d sim.Duration) SystemOpt {
+	return func(c *core.MeshConfig) { c.Speculation = d }
+}
+
 // WithShards partitions the nodes across fabric shards (contiguous
 // blocks; cross-shard traffic serializes through shared spine uplinks on
 // backends that model topology).
@@ -170,6 +179,16 @@ func (s *System) Workers() int {
 
 // Sharded reports whether the parallel engine group is engaged.
 func (s *System) Sharded() bool { return s.mesh.Cluster.Group != nil }
+
+// Windows reports how many parallel windows the engine has executed — the
+// engagement metric of the windowed regime (0 on a sequential system or a
+// run that stayed serial throughout).
+func (s *System) Windows() uint64 {
+	if g := s.mesh.Cluster.Group; g != nil {
+		return g.Windows()
+	}
+	return 0
+}
 
 // HoldSerial forces the parallel engine to execute one globally-ordered
 // event at a time until the matching ReleaseSerial — the hook scenario

@@ -3,7 +3,15 @@ package workload
 import (
 	"runtime"
 	"testing"
+
+	"twochains/internal/sim"
 )
+
+// specBudget is the speculation budget the speculative legs of the
+// parallel property tests run with: about two cross-shard lookaheads, so
+// the reachability bound (not the budget cap) is what limits most
+// windows.
+const specBudget = 2 * sim.Microsecond
 
 // workerSweep is the worker-count axis of the parallel determinism
 // property: the sequential engine, two fixed parallel widths, and
@@ -33,10 +41,10 @@ func parallelScenario(traffic string, seed uint64, workers int) Scenario {
 // TestWorkersSweepDeterminism is the registry-driven parallel-engine
 // property: for every registered traffic shape (third-party ones
 // included — registering is opting in) and two seeds, every worker count
-// produces the bit-identical digest, simulated time, and injection count
-// of the sequential engine. GOMAXPROCS is swept alongside so the
-// windowed regime actually runs preemptively scheduled where the host
-// allows it.
+// — with and without speculative windows — produces the bit-identical
+// digest, simulated time, and injection count of the sequential engine.
+// GOMAXPROCS is swept alongside so the windowed regime actually runs
+// preemptively scheduled where the host allows it.
 func TestWorkersSweepDeterminism(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	for _, name := range TrafficNames() {
@@ -45,25 +53,37 @@ func TestWorkersSweepDeterminism(t *testing.T) {
 			for _, seed := range []uint64{0x7c2c2021, 0x51edba5e} {
 				base, baseErr := Run(parallelScenario(name, seed, 1))
 				for _, w := range workerSweep()[1:] {
-					runtime.GOMAXPROCS(w)
-					res, err := Run(parallelScenario(name, seed, w))
-					// A shape that rejects the scenario must reject it
-					// identically at every worker count.
-					if baseErr != nil || err != nil {
-						if err == nil || baseErr == nil || err.Error() != baseErr.Error() {
-							t.Fatalf("seed %#x workers %d: error divergence: %v vs %v", seed, w, err, baseErr)
+					for _, spec := range []sim.Duration{0, specBudget} {
+						// One speculative leg per shape/seed keeps the
+						// -race sweep inside the CI budget.
+						if spec > 0 && w != 4 {
+							continue
 						}
-						continue
-					}
-					if res.Digest != base.Digest {
-						t.Errorf("seed %#x workers %d: digest %#x, want %#x", seed, w, res.Digest, base.Digest)
-					}
-					if res.SimTime != base.SimTime {
-						t.Errorf("seed %#x workers %d: simulated time %d, want %d",
-							seed, w, int64(res.SimTime), int64(base.SimTime))
-					}
-					if res.Injections != base.Injections {
-						t.Errorf("seed %#x workers %d: injections %d, want %d", seed, w, res.Injections, base.Injections)
+						runtime.GOMAXPROCS(w)
+						sc := parallelScenario(name, seed, w)
+						sc.Speculation = spec
+						res, err := Run(sc)
+						// A shape that rejects the scenario must reject it
+						// identically at every worker count.
+						if baseErr != nil || err != nil {
+							if err == nil || baseErr == nil || err.Error() != baseErr.Error() {
+								t.Fatalf("seed %#x workers %d spec %d: error divergence: %v vs %v",
+									seed, w, spec, err, baseErr)
+							}
+							continue
+						}
+						if res.Digest != base.Digest {
+							t.Errorf("seed %#x workers %d spec %d: digest %#x, want %#x",
+								seed, w, spec, res.Digest, base.Digest)
+						}
+						if res.SimTime != base.SimTime {
+							t.Errorf("seed %#x workers %d spec %d: simulated time %d, want %d",
+								seed, w, spec, int64(res.SimTime), int64(base.SimTime))
+						}
+						if res.Injections != base.Injections {
+							t.Errorf("seed %#x workers %d spec %d: injections %d, want %d",
+								seed, w, spec, res.Injections, base.Injections)
+						}
 					}
 				}
 			}
@@ -72,32 +92,39 @@ func TestWorkersSweepDeterminism(t *testing.T) {
 }
 
 // TestParallelGoldenScenarios re-runs the golden table on the parallel
-// engine: the pinned digests and simulated times — captured on the
-// pre-PR-3 sequential implementation — must come out of the multi-core
-// engine unchanged, hot-swap phases included.
+// engine, conservative and speculative: the pinned digests and simulated
+// times — captured on the pre-PR-3 sequential implementation — must come
+// out of the multi-core engine unchanged, hot-swap phases included.
 func TestParallelGoldenScenarios(t *testing.T) {
-	for _, g := range goldenRuns {
-		g := g
-		t.Run(string(g.pattern), func(t *testing.T) {
-			sc := DefaultScenario(g.pattern, g.nodes)
-			sc.Rounds = 2
-			sc.Burst = g.burst
-			sc.Seed = g.seed
-			sc.Workers = 4
-			res, err := Run(sc)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Digest != g.digest {
-				t.Errorf("digest = %#x, want %#x", res.Digest, g.digest)
-			}
-			if int64(res.SimTime) != g.simTime {
-				t.Errorf("simulated time = %d, want %d", int64(res.SimTime), g.simTime)
-			}
-			if res.Injections != g.inj {
-				t.Errorf("injections = %d, want %d", res.Injections, g.inj)
-			}
-		})
+	for _, spec := range []sim.Duration{0, specBudget} {
+		name := "conservative"
+		if spec > 0 {
+			name = "speculative"
+		}
+		for _, g := range goldenRuns {
+			g := g
+			t.Run(name+"/"+string(g.pattern), func(t *testing.T) {
+				sc := DefaultScenario(g.pattern, g.nodes)
+				sc.Rounds = 2
+				sc.Burst = g.burst
+				sc.Seed = g.seed
+				sc.Workers = 4
+				sc.Speculation = spec
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Digest != g.digest {
+					t.Errorf("digest = %#x, want %#x", res.Digest, g.digest)
+				}
+				if int64(res.SimTime) != g.simTime {
+					t.Errorf("simulated time = %d, want %d", int64(res.SimTime), g.simTime)
+				}
+				if res.Injections != g.inj {
+					t.Errorf("injections = %d, want %d", res.Injections, g.inj)
+				}
+			})
+		}
 	}
 }
 
@@ -156,5 +183,70 @@ func TestParallelRepeatable(t *testing.T) {
 	}
 	if a.Workers < 2 {
 		t.Fatalf("parallel engine did not engage: workers = %d", a.Workers)
+	}
+}
+
+// TestParallelWindowedEngagement pins that a hold-free steady state
+// actually runs in the windowed regime: the window counter must be
+// non-zero, conservative and speculative alike. A regression that
+// silently degrades every run to serial stepping is invisible on a
+// single-core container — wall-clock looks the same there — so the
+// engagement is asserted on the simulation structure, not on timing.
+func TestParallelWindowedEngagement(t *testing.T) {
+	for _, spec := range []sim.Duration{0, specBudget} {
+		sc := parallelScenario(string(AllToAll), 0x7c2c2021, 4)
+		sc.Speculation = spec
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Workers < 2 {
+			t.Fatalf("spec %d: parallel engine did not engage: workers = %d", spec, res.Workers)
+		}
+		if res.Windows == 0 {
+			t.Fatalf("spec %d: hold-free steady state executed zero parallel windows", spec)
+		}
+	}
+	// The sequential engine reports no windows.
+	seq, err := Run(parallelScenario(string(AllToAll), 0x7c2c2021, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Windows != 0 {
+		t.Fatalf("sequential run reported %d windows", seq.Windows)
+	}
+}
+
+// TestParallelSpeedupPairDigest is the test-scale version of the
+// benchmark speedup pair (BenchmarkMeshAllToAll* vs their W1 twins) with
+// GOMAXPROCS forced above 1: the multi-worker run — speculative included
+// — must reproduce the sequential digest, simulated time, and injection
+// count bit for bit while the workers genuinely run preemptively
+// scheduled.
+func TestParallelSpeedupPairDigest(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(4)
+	sc := DefaultScenario(AllToAll, 16)
+	sc.Rounds = 2
+	sc.Shards = 4
+	seq, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []sim.Duration{0, specBudget} {
+		sc.Workers = 4
+		sc.Speculation = spec
+		par, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Workers != 4 {
+			t.Fatalf("spec %d: engaged %d workers, want 4", spec, par.Workers)
+		}
+		if par.Digest != seq.Digest || par.SimTime != seq.SimTime || par.Injections != seq.Injections {
+			t.Fatalf("spec %d: speedup pair diverged: %#x/%d/%d vs %#x/%d/%d", spec,
+				par.Digest, int64(par.SimTime), par.Injections,
+				seq.Digest, int64(seq.SimTime), seq.Injections)
+		}
 	}
 }

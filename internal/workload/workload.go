@@ -153,6 +153,12 @@ type Scenario struct {
 	// With Workers > 1 a scenario-level OnExecuted hook may be invoked
 	// from concurrent shard workers and must be safe for that.
 	Workers int
+	// Speculation is the parallel engine's speculative-window budget: how
+	// far past the conservative horizon a shard may run when the
+	// reachability bound allows it. Zero keeps windows strictly
+	// conservative; results are bit-identical either way. Ignored unless
+	// Workers > 1.
+	Speculation sim.Duration
 	// Burst is the messages per batched injection; Rounds the traffic
 	// generator's repetition knob.
 	Burst, Rounds int
@@ -236,6 +242,7 @@ type Result struct {
 	Scenario   Scenario
 	Shards     int          // fabric shards actually used
 	Workers    int          // engine workers actually used (1 = sequential)
+	Windows    uint64       // parallel windows executed (0 = stayed serial)
 	Injections int          // handlers executed fabric-wide
 	SimTime    sim.Duration // simulated wall time of the whole run
 	RatePerSec float64      // simulated injections per simulated second
@@ -593,6 +600,7 @@ func Run(sc Scenario) (*Result, error) {
 		tc.WithTiming(sc.Timing),
 		tc.WithBackend(sc.Backend),
 		tc.WithWorkers(sc.Workers),
+		tc.WithSpeculation(sc.Speculation),
 		tc.WithConfig(func(c *core.MeshConfig) { c.Geometry.FrameSize = frame }),
 	}
 	if sc.Shards > 0 {
@@ -721,6 +729,7 @@ func Run(sc Scenario) (*Result, error) {
 		res.Digest += nr.Digest // order-insensitive across nodes
 	}
 	res.SimTime = sim.Duration(sys.Now())
+	res.Windows = sys.Windows()
 	if secs := res.SimTime.Seconds(); secs > 0 {
 		res.RatePerSec = float64(res.Injections) / secs
 	}
