@@ -6,22 +6,23 @@
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR6.json by
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR7.json by
 # default; override with BENCH_OUT=...) — the machine-readable perf
 # trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
 # vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
 # including the 64/128-node parallel-engine mesh pairs (workers=NumCPU
-# vs workers=1 twins of the same bit-identical simulation) and the
-# speculative-window variant. bench-smoke gates against the newest
-# recorded trajectory file ($(SMOKE_BASELINE)).
+# vs workers=1 twins of the same bit-identical simulation), the
+# speculative-window variant, and the multi-tenant overload benchmark
+# with its per-tenant goodput metrics. bench-smoke gates against the
+# newest recorded trajectory file ($(SMOKE_BASELINE)).
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
 # `go tool pprof`).
 
 GO ?= go
 GOFMT ?= gofmt
-BENCH_OUT ?= BENCH_PR6.json
-SMOKE_BASELINE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+SMOKE_BASELINE ?= BENCH_PR6.json
 
 .PHONY: check fmt-check vet build test bench-smoke bench-json profile perf examples
 
@@ -59,7 +60,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
 
 bench-json:
-	@{ $(GO) test -run xxx -bench 'BenchmarkMeshFanout$$|BenchmarkMeshAllToAll$$|BenchmarkMeshHotspot$$|BenchmarkKVStore|BenchmarkMultiPhase' -benchmem -benchtime 10x . && \
+	@{ $(GO) test -run xxx -bench 'BenchmarkMeshFanout$$|BenchmarkMeshAllToAll$$|BenchmarkMeshHotspot$$|BenchmarkKVStore|BenchmarkMultiPhase|BenchmarkMultiTenantOverload' -benchmem -benchtime 10x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkMesh(AllToAll|Fanout|Hotspot)(64|128)' -benchmem -benchtime 1x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject|BenchmarkFramePack' -benchmem -benchtime 200000x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim; } \

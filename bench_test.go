@@ -354,6 +354,27 @@ func BenchmarkKVStoreOpenLoop(b *testing.B) { runScenario(b, workload.KVStoreSce
 // three application packages (tcbench + kvstore + histo reduce).
 func BenchmarkMultiPhaseMix(b *testing.B) { runScenario(b, workload.MultiPhaseScenario(8)) }
 
+// BenchmarkMultiTenantOverload: the stock two-tenant overload
+// composition at 4x offered load — per-tenant namespaces, weighted-fair
+// receivers, overlap-window goodput. Reports each tenant's goodput so
+// the fair-share split rides the benchmark history alongside the rate.
+func BenchmarkMultiTenantOverload(b *testing.B) {
+	b.ReportAllocs()
+	sc := workload.OverloadScenario(4, 4)
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RatePerSec, "sim_inj_per_sec")
+	b.ReportMetric(res.Tenants[0].GoodputPerSec, "gold_goodput_per_sec")
+	b.ReportMetric(res.Tenants[1].GoodputPerSec, "bronze_goodput_per_sec")
+	b.ReportMetric(res.SimTime.Microseconds(), "sim_us")
+}
+
 // --- framework micro-benchmarks (host-time, not simulated time) ---
 
 // BenchmarkFramePack measures packing an injected frame.

@@ -8,6 +8,13 @@
 //	tcrun -pkg tcbench.tcpkg -jam jam_sssum -payload 64
 //	tcrun -pkg tcbench.tcpkg -jam jam_iput -arg0 42 -payload 256 -injected
 //	tcrun -app kvstore -jam kv_put -arg0 7 -arg1 21
+//	tcrun -app kvstore -jam kv_put -tenant gold
+//
+// With -tenant the package installs into that tenant's namespace view
+// instead of the base namespace, and the call goes through the tenant's
+// handle — the element binds against the tenant's own package instance,
+// so another tenant (or the base namespace) could hold a different
+// version of the same app without collision.
 //
 // With -injected the jam takes the full injection path: packed into a
 // frame, GOT table bound by the sender, delivered through the simulated
@@ -28,6 +35,7 @@ import (
 	"twochains/internal/sim"
 	"twochains/internal/tc"
 	"twochains/internal/tcapp"
+	"twochains/internal/tenant"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		payload  = flag.Int("payload", 64, "payload size in bytes (patterned)")
 		injected = flag.Bool("injected", true, "use Injected Function (false: Local Function)")
 		backend  = flag.String("backend", "", "fabric backend (default simnet)")
+		tenName  = flag.String("tenant", "", "install and call through this tenant's package namespace")
 		workers  = flag.Int("workers", runtime.NumCPU(),
 			"engine workers; > 1 places the two nodes in separate fabric shards (spine-linked topology) on the multi-core conservative engine")
 	)
@@ -102,7 +111,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := sys.InstallPackage(pkg); err != nil {
+	if *tenName != "" {
+		if _, err := sys.AddTenant(tenant.Config{Name: *tenName, Weight: 1}); err != nil {
+			fatal(err)
+		}
+		if err := sys.InstallPackageFor(*tenName, pkg); err != nil {
+			fatal(err)
+		}
+	} else if err := sys.InstallPackage(pkg); err != nil {
 		fatal(err)
 	}
 	server := sys.Node(1)
@@ -116,7 +132,12 @@ func main() {
 
 	// Bind once, call once: the handle pre-resolves the element, the
 	// future awaits delivery deterministically, and Run drains execution.
-	fn, err := sys.Func(0, pkg.Name, *jam)
+	var fn *tc.Func
+	if *tenName != "" {
+		fn, err = sys.FuncFor(*tenName, 0, pkg.Name, *jam)
+	} else {
+		fn, err = sys.Func(0, pkg.Name, *jam)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -133,8 +154,12 @@ func main() {
 	if !*injected {
 		mode = "Local Function"
 	}
-	fmt.Printf("%s: %s(%d, %d) with %dB payload, frame %dB, end-to-end %v\n",
-		mode, *jam, *arg0, *arg1, *payload, frame, sim.Duration(sys.Now()))
+	via := ""
+	if *tenName != "" {
+		via = fmt.Sprintf(" via tenant %q", *tenName)
+	}
+	fmt.Printf("%s%s: %s(%d, %d) with %dB payload, frame %dB, end-to-end %v\n",
+		mode, via, *jam, *arg0, *arg1, *payload, frame, sim.Duration(sys.Now()))
 	if out := server.Stdout.String(); out != "" {
 		fmt.Printf("server stdout:\n%s", out)
 	}

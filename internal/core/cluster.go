@@ -197,8 +197,11 @@ type Node struct {
 	Receiver  *mailbox.Receiver
 	Receivers []*mailbox.Receiver
 
-	pkgs     map[string]*InstalledPackage
-	nextPkg  uint8
+	pkgs    map[string]*InstalledPackage
+	nextPkg uint8
+	// nsViews are per-tenant linker namespaces, forked from the base
+	// namespace on first use (see NamespaceView).
+	nsViews  map[string]*linker.Namespace
 	execArea uint64 // SecureExec scratch
 	// jams is the sender-side prepared-jam cache shared by every outgoing
 	// channel of this node (bind once per element + receiver namespace).
@@ -290,12 +293,47 @@ func (n *Node) BindNative(name string, fn vm.NativeFunc) error {
 	return n.NS.Define(name, va)
 }
 
+// NamespaceView returns the node's namespace view for key, forking it
+// from the base namespace on first use. The fork copies the current base
+// bindings (libc, natives, already-installed base packages), so a view
+// resolves everything the base does until a per-view install shadows a
+// name. Views never feed back into the base namespace.
+func (n *Node) NamespaceView(key string) *linker.Namespace {
+	if n.nsViews == nil {
+		n.nsViews = map[string]*linker.Namespace{}
+	}
+	if ns, ok := n.nsViews[key]; ok {
+		return ns
+	}
+	ns := linker.NewNamespace()
+	for name, va := range n.NS.Snapshot() {
+		ns.Redefine(name, va)
+	}
+	n.nsViews[key] = ns
+	return ns
+}
+
 // InstallPackage loads a built package onto the node: rieds are loaded as
 // libraries (registering their exports in the node namespace), and the
 // Local Function library is loaded to provide the by-ID function vector.
 func (n *Node) InstallPackage(pkg *Package) (*InstalledPackage, error) {
-	if _, dup := n.pkgs[pkg.Name]; dup {
-		return nil, fmt.Errorf("core: node %s: package %s already installed", n.Name, pkg.Name)
+	return n.installPackageAs(pkg.Name, n.NS, pkg, false)
+}
+
+// InstallPackageAs loads pkg under the given alias into ns — the
+// per-tenant install path: the alias is the tenant-qualified package
+// name, ns the tenant's namespace view. Replacement is allowed so the
+// tenant's version of an app shadows the base install's symbols inside
+// its own view without touching any other namespace. The install still
+// gets a node-unique package ID, so by-ID local dispatch cannot collide
+// across tenants.
+func (n *Node) InstallPackageAs(alias string, ns *linker.Namespace, pkg *Package) (*InstalledPackage, error) {
+	return n.installPackageAs(alias, ns, pkg, true)
+}
+
+func (n *Node) installPackageAs(alias string, ns *linker.Namespace, pkg *Package, replace bool) (*InstalledPackage, error) {
+	if _, dup := n.pkgs[alias]; dup {
+		return nil, fmt.Errorf("core: node %s: package %s already installed", n.Name, alias)
 	}
 	n.nextPkg++
 	inst := &InstalledPackage{
@@ -304,13 +342,13 @@ func (n *Node) InstallPackage(pkg *Package) (*InstalledPackage, error) {
 		localVec: map[uint8]uint64{},
 		rieds:    map[string]*linker.Loaded{},
 	}
-	opts := linker.LoadOptions{ReadOnlyGOT: n.Cfg.ReadOnlyGOT}
+	opts := linker.LoadOptions{ReadOnlyGOT: n.Cfg.ReadOnlyGOT, Replace: replace}
 
 	for _, e := range pkg.Elements {
 		if e.Kind != ElemRied {
 			continue
 		}
-		ld, err := linker.Load(n.AS, n.NS, e.Ried, opts)
+		ld, err := linker.Load(n.AS, ns, e.Ried, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %s: ried %s: %w", n.Name, e.Name, err)
 		}
@@ -320,7 +358,7 @@ func (n *Node) InstallPackage(pkg *Package) (*InstalledPackage, error) {
 		inst.rieds[e.Name] = ld
 	}
 	if pkg.LocalLib != nil {
-		ld, err := linker.Load(n.AS, n.NS, pkg.LocalLib, opts)
+		ld, err := linker.Load(n.AS, ns, pkg.LocalLib, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %s: local lib: %w", n.Name, err)
 		}
@@ -339,7 +377,7 @@ func (n *Node) InstallPackage(pkg *Package) (*InstalledPackage, error) {
 			inst.localVec[e.ID] = va
 		}
 	}
-	n.pkgs[pkg.Name] = inst
+	n.pkgs[alias] = inst
 	return inst, nil
 }
 

@@ -89,11 +89,14 @@ type Mesh struct {
 
 	nodes   []*Node
 	shardOf []int
-	chans   map[[2]int]*Channel
-	// nsMemo caches each node's namespace snapshot + fingerprint so N
-	// inbound channels share one exchange instead of re-computing it.
-	nsMemo map[int]nsSnap
-	rng    *sim.RNG
+	chans   map[chanKey]*Channel
+	// nsMemo caches each (node, view) namespace snapshot + fingerprint so
+	// N inbound channels share one exchange instead of re-computing it.
+	nsMemo map[nsKey]nsSnap
+	// views are the namespace-view names seen so far, sorted — the
+	// deterministic iteration order for EachChannel and Stats.
+	views []string
+	rng   *sim.RNG
 	// mu guards chans and nsMemo. Channel creation is a zero-lookahead
 	// global action: under the parallel engine it only ever happens while
 	// the group executes serially (the workload driver holds the engine
@@ -103,8 +106,23 @@ type Mesh struct {
 	mu sync.RWMutex
 	// OnChannelCreated, when set, observes every successful lazy channel
 	// creation — the hook the scenario driver uses to release its
-	// serial-execution hold once a phase's full channel set exists.
-	OnChannelCreated func(src, dst int)
+	// serial-execution hold once a phase's full channel set exists, and to
+	// instrument per-tenant receivers (view names the namespace view, ""
+	// for the base namespace).
+	OnChannelCreated func(src, dst int, view string, ch *Channel)
+}
+
+// chanKey identifies a channel: the ordered node pair plus the namespace
+// view it resolves against ("" = the base namespace).
+type chanKey struct {
+	src, dst int
+	view     string
+}
+
+// nsKey identifies a memoized namespace exchange.
+type nsKey struct {
+	dst  int
+	view string
 }
 
 // nsSnap is a memoized namespace exchange.
@@ -156,8 +174,8 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 	m := &Mesh{
 		Cfg:     cfg,
 		Cluster: cl,
-		chans:   map[[2]int]*Channel{},
-		nsMemo:  map[int]nsSnap{},
+		chans:   map[chanKey]*Channel{},
+		nsMemo:  map[nsKey]nsSnap{},
 		rng:     sim.NewRNG(cfg.Cluster.Seed ^ 0x6d657368), // "mesh"
 	}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -179,10 +197,14 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 // Sharded reports whether the mesh runs on the parallel engine group.
 func (m *Mesh) Sharded() bool { return m.Cluster.Group != nil }
 
-// HasChannel reports whether the src->dst channel already exists.
-func (m *Mesh) HasChannel(src, dst int) bool {
+// HasChannel reports whether the src->dst base channel already exists.
+func (m *Mesh) HasChannel(src, dst int) bool { return m.HasChannelView(src, dst, "") }
+
+// HasChannelView reports whether the src->dst channel bound to the named
+// namespace view already exists.
+func (m *Mesh) HasChannelView(src, dst int, view string) bool {
 	m.mu.RLock()
-	_, ok := m.chans[[2]int{src, dst}]
+	_, ok := m.chans[chanKey{src, dst, view}]
 	m.mu.RUnlock()
 	return ok
 }
@@ -212,7 +234,35 @@ func (m *Mesh) InstallPackage(pkg *Package) error {
 		}
 	}
 	m.mu.Lock()
-	m.nsMemo = map[int]nsSnap{}
+	m.nsMemo = map[nsKey]nsSnap{}
+	m.mu.Unlock()
+	return nil
+}
+
+// InstallPackageView installs pkg on every node under the given
+// namespace view and alias (typically tenant.Qualified(view, pkg.Name)):
+// the per-tenant install path. Each node's view namespace is forked from
+// its base namespace on first use, and the load may replace symbols
+// inside the view, so two tenants can carry different versions of the
+// same app — distinct installed-package IDs, element-ID spaces, and RIED
+// bindings — without touching the base install or each other. Only the
+// view's memoized exchanges are invalidated.
+func (m *Mesh) InstallPackageView(view, alias string, pkg *Package) error {
+	if view == "" {
+		return fmt.Errorf("core: mesh: empty view name")
+	}
+	for _, n := range m.nodes {
+		if _, err := n.InstallPackageAs(alias, n.NamespaceView(view), pkg); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	for k := range m.nsMemo {
+		if k.view == view {
+			delete(m.nsMemo, k)
+		}
+	}
+	m.registerViewLocked(view)
 	m.mu.Unlock()
 	return nil
 }
@@ -229,16 +279,28 @@ func (m *Mesh) receiverConfig() mailbox.ReceiverConfig {
 	return rcfg
 }
 
-// Channel returns the src->dst channel, creating it (and its dedicated
-// mailbox region on dst) on first use.
+// Channel returns the src->dst base channel, creating it (and its
+// dedicated mailbox region on dst) on first use.
 func (m *Mesh) Channel(src, dst int) (*Channel, error) {
+	return m.ChannelView(src, dst, "", nil)
+}
+
+// ChannelView returns the src->dst channel bound to the named namespace
+// view ("" = base), creating it on first use. A view channel gets its
+// own mailbox region on dst and exchanges names against dst's view
+// namespace, so a tenant's RIED bindings and element IDs resolve inside
+// its own install set. tweak, when non-nil, post-processes the receiver
+// configuration at creation time only (it enrolls the receiver with a
+// fair arbiter or prices an isolation boundary); lookups of an existing
+// channel ignore it.
+func (m *Mesh) ChannelView(src, dst int, view string, tweak func(mailbox.ReceiverConfig) mailbox.ReceiverConfig) (*Channel, error) {
 	if src < 0 || src >= len(m.nodes) || dst < 0 || dst >= len(m.nodes) {
 		return nil, fmt.Errorf("core: mesh channel %d->%d out of range (%d nodes)", src, dst, len(m.nodes))
 	}
 	if src == dst {
 		return nil, fmt.Errorf("core: mesh channel %d->%d is a self-loop", src, dst)
 	}
-	key := [2]int{src, dst}
+	key := chanKey{src, dst, view}
 	m.mu.RLock()
 	ch, ok := m.chans[key]
 	m.mu.RUnlock()
@@ -250,21 +312,30 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 		// teardown guarantee is that the node stops being polled.
 		return nil, fmt.Errorf("core: mesh channel %d->%d: destination node torn down", src, dst)
 	}
-	recv, err := m.nodes[dst].AddMailbox(m.receiverConfig())
+	rcfg := m.receiverConfig()
+	if tweak != nil {
+		rcfg = tweak(rcfg)
+	}
+	recv, err := m.nodes[dst].AddMailbox(rcfg)
 	if err != nil {
 		return nil, err
 	}
 	opts := m.Cfg.Channel
 	opts.Sender.Geometry = m.Cfg.Geometry
 	opts.Sender.WaitMode = m.Cfg.WaitMode
+	nk := nsKey{dst, view}
 	m.mu.RLock()
-	snap, memoized := m.nsMemo[dst]
+	snap, memoized := m.nsMemo[nk]
 	m.mu.RUnlock()
 	if !memoized {
-		snap.names = m.nodes[dst].NS.Snapshot()
+		ns := m.nodes[dst].NS
+		if view != "" {
+			ns = m.nodes[dst].NamespaceView(view)
+		}
+		snap.names = ns.Snapshot()
 		snap.fp = nsFingerprint(snap.names)
 		m.mu.Lock()
-		m.nsMemo[dst] = snap
+		m.nsMemo[nk] = snap
 		m.mu.Unlock()
 	}
 	ch, err = connectTo(m.nodes[src], m.nodes[dst], recv, opts, snap.names, snap.fp)
@@ -280,11 +351,29 @@ func (m *Mesh) Channel(src, dst int) (*Channel, error) {
 	}
 	m.mu.Lock()
 	m.chans[key] = ch
+	if view != "" {
+		m.registerViewLocked(view)
+	}
 	m.mu.Unlock()
 	if m.OnChannelCreated != nil {
-		m.OnChannelCreated(src, dst)
+		m.OnChannelCreated(src, dst, view, ch)
 	}
 	return ch, nil
+}
+
+// registerViewLocked records a view name in the sorted iteration order.
+// Caller holds mu.
+func (m *Mesh) registerViewLocked(view string) {
+	i := 0
+	for i < len(m.views) && m.views[i] < view {
+		i++
+	}
+	if i < len(m.views) && m.views[i] == view {
+		return
+	}
+	m.views = append(m.views, "")
+	copy(m.views[i+1:], m.views[i:])
+	m.views[i] = view
 }
 
 // ConnectFull eagerly creates every ordered pair's channel.
@@ -309,15 +398,27 @@ func (m *Mesh) Channels() int {
 	return len(m.chans)
 }
 
-// EachChannel visits every connected channel in deterministic order.
+// EachChannel visits every connected channel (base and view) in
+// deterministic order: ascending (src, dst), base view first, then view
+// names sorted.
 func (m *Mesh) EachChannel(fn func(src, dst int, ch *Channel)) {
+	m.EachChannelView(func(s, d int, _ string, ch *Channel) { fn(s, d, ch) })
+}
+
+// EachChannelView is EachChannel with the namespace view exposed.
+func (m *Mesh) EachChannelView(fn func(src, dst int, view string, ch *Channel)) {
+	m.mu.RLock()
+	views := append([]string{""}, m.views...)
+	m.mu.RUnlock()
 	for s := 0; s < len(m.nodes); s++ {
 		for d := 0; d < len(m.nodes); d++ {
-			m.mu.RLock()
-			ch, ok := m.chans[[2]int{s, d}]
-			m.mu.RUnlock()
-			if ok {
-				fn(s, d, ch)
+			for _, v := range views {
+				m.mu.RLock()
+				ch, ok := m.chans[chanKey{s, d, v}]
+				m.mu.RUnlock()
+				if ok {
+					fn(s, d, v, ch)
+				}
 			}
 		}
 	}
@@ -334,10 +435,12 @@ func (m *Mesh) RefreshNames(dst int) {
 	snap := nsSnap{names: m.nodes[dst].NS.Snapshot()}
 	snap.fp = nsFingerprint(snap.names)
 	m.mu.Lock()
-	m.nsMemo[dst] = snap
+	m.nsMemo[nsKey{dst, ""}] = snap
 	m.mu.Unlock()
-	m.EachChannel(func(_, d int, ch *Channel) {
-		if d == dst {
+	// Only base channels re-exchange: a view channel's bindings move via
+	// InstallPackageView, never via base-namespace updates.
+	m.EachChannelView(func(_, d int, view string, ch *Channel) {
+		if d == dst && view == "" {
 			ch.remoteNames, ch.remoteFP = snap.names, snap.fp
 		}
 	})

@@ -37,6 +37,16 @@ type ReceiverConfig struct {
 	// option: "have the receiver insert the GOT pointer on message
 	// arrival").
 	InsertGp bool
+	// Arbiter, when set, enrolls the receiver in its node's weighted-fair
+	// service arbiter under class ArbClass: a ready frame queues with the
+	// arbiter instead of starting service immediately, so concurrent
+	// classes share the node's service capacity by weight.
+	Arbiter  *FairArbiter
+	ArbClass int
+	// IsolationCost is charged per executed message on top of dispatch —
+	// the per-invocation isolation boundary for untrusted tenant jams
+	// (model.TenantIsolationCost is the calibrated knob).
+	IsolationCost sim.Duration
 }
 
 // DefaultReceiverConfig returns the paper's measurement configuration:
@@ -84,6 +94,20 @@ func (c ReceiverConfig) WithInsertGp(on bool) ReceiverConfig {
 // the paper's compact RWX layout).
 func (c ReceiverConfig) WithPagePerm(p mem.Perm) ReceiverConfig {
 	c.PagePerm = p
+	return c
+}
+
+// WithArbiter enrolls the receiver in a weighted-fair service arbiter
+// under the given class.
+func (c ReceiverConfig) WithArbiter(a *FairArbiter, class int) ReceiverConfig {
+	c.Arbiter, c.ArbClass = a, class
+	return c
+}
+
+// WithIsolationCost charges d per executed message (the untrusted-tenant
+// isolation boundary).
+func (c ReceiverConfig) WithIsolationCost(d sim.Duration) ReceiverConfig {
+	c.IsolationCost = d
 	return c
 }
 
@@ -136,6 +160,10 @@ type Receiver struct {
 	completeD  *Delivery
 	completeAt sim.Time
 	completeFn func() // prebound: complete(completeD, completeAt)
+	// arbWake is the wake latency computed at frame detection, replayed
+	// when the arbiter grants service (an ungated grant pays it exactly
+	// once, identically to the non-arbitrated path).
+	arbWake sim.Duration
 }
 
 // NewReceiver allocates and registers the mailbox region on w's node and
@@ -225,7 +253,19 @@ func (r *Receiver) poke() {
 	}
 	r.busy = true
 	r.serviceVA = va
+	if r.Cfg.Arbiter != nil {
+		// Fair-queued path: the frame is ready but service waits for the
+		// arbiter's grant; the wake latency is paid at grant time.
+		r.arbWake = wake
+		r.Cfg.Arbiter.enqueue(r.Cfg.ArbClass, r)
+		return
+	}
 	r.eng.After(wake, r.serviceFn)
+}
+
+// granted starts the service the arbiter just granted.
+func (r *Receiver) granted() {
+	r.eng.After(r.arbWake, r.serviceFn)
 }
 
 // service parses, optionally patches, and executes the frame at va, then
@@ -269,6 +309,9 @@ func (r *Receiver) service(va uint64) {
 	serviceCost += model.HandlerDispatchLat
 
 	if d.Kind != KindData && r.Handler != nil {
+		// Untrusted-tenant isolation boundary: priced per invocation,
+		// before the handler runs.
+		serviceCost += r.Cfg.IsolationCost
 		execCost, err := r.Handler(d)
 		serviceCost += execCost
 		if err != nil {
@@ -315,6 +358,15 @@ func (r *Receiver) complete(d *Delivery, t sim.Time) {
 	// Immediately serve the next frame if it already arrived; otherwise
 	// re-arm the wait clock.
 	r.waitStart = r.eng.Now()
+	if r.Cfg.Arbiter != nil {
+		// Queue our own next frame first (enqueue is a no-op start while
+		// the arbiter is busy), then hand the node back: the arbiter must
+		// see this class's remaining backlog when it picks the next grant,
+		// or a backlogged class degenerates to plain round-robin.
+		r.poke()
+		r.Cfg.Arbiter.done()
+		return
+	}
 	r.poke()
 }
 

@@ -160,6 +160,13 @@ var (
 	GOTPatchPerEntry   = sim.FromNanos(4.5)
 	FrameParseOverhead = sim.FromNanos(14)
 	HandlerDispatchLat = sim.FromNanos(10)
+	// TenantIsolationCost is the per-invocation boundary crossing charged
+	// when an untrusted tenant's function runs at the receiver. The value
+	// follows the lightweight-virtualization literature (Virtines report
+	// ~2.2 µs to enter/exit a minimal hardware-virtualized execution
+	// context once the image is warm); heavier sandboxes can be modelled
+	// by raising it, trusting a tenant by leaving Config.Untrusted unset.
+	TenantIsolationCost = sim.FromNanos(2200)
 )
 
 // Stress model (paper §VII-C: `stress-ng --class vm --all 1` on all cores).

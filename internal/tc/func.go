@@ -6,6 +6,7 @@ import (
 	"twochains/internal/core"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tenant"
 )
 
 // Func is a pre-resolved function handle: the element is validated on the
@@ -19,6 +20,13 @@ type Func struct {
 	shard     int // src's fabric shard: the future-pool lane Calls use
 	pkg, elem string
 	bounds    []*core.Bound // indexed by destination node
+	// ten is the owning tenant of a FuncFor handle (nil for base
+	// handles): its calls route over the tenant's namespace-view channels
+	// and pass its admission control by default.
+	ten *tenant.Tenant
+	// tbounds caches bounds for base handles called WithTenant, keyed
+	// tenantID*nodes+dst (a handle's own tenant uses bounds instead).
+	tbounds map[int]*core.Bound
 }
 
 // Func returns a handle for the named element, sent from node src. The
@@ -72,6 +80,7 @@ type callCfg struct {
 	usr   []byte
 	burst bool
 	batch [][2]uint64
+	ten   *tenant.Tenant
 }
 
 // Call option kinds.
@@ -79,6 +88,7 @@ const (
 	optLocal = iota + 1
 	optPayload
 	optBurst
+	optTenant
 )
 
 // CallOpt adjusts one Call. Options are small immutable values, not
@@ -88,6 +98,7 @@ type CallOpt struct {
 	kind  uint8
 	usr   []byte
 	batch [][2]uint64
+	ten   *tenant.Tenant
 }
 
 // Local selects Local Function invocation: only IDs and payload travel,
@@ -110,6 +121,16 @@ func Burst(batch [][2]uint64) CallOpt {
 	return CallOpt{kind: optBurst, batch: batch}
 }
 
+// WithTenant attributes the call to a tenant: it routes over the
+// tenant's namespace-view channel (fair-queued under the tenant's weight
+// at the receiver) and must pass the tenant's token-bucket admission —
+// a rejected call resolves immediately with a *tenant.AdmissionError,
+// readable via Future.IssueErr. On a FuncFor handle the owning tenant is
+// already implied; WithTenant overrides it.
+func WithTenant(t *tenant.Tenant) CallOpt {
+	return CallOpt{kind: optTenant, ten: t}
+}
+
 // apply folds the option into the collected configuration.
 func (o CallOpt) apply(c *callCfg) {
 	switch o.kind {
@@ -119,6 +140,8 @@ func (o CallOpt) apply(c *callCfg) {
 		c.usr = o.usr
 	case optBurst:
 		c.burst, c.batch = true, o.batch
+	case optTenant:
+		c.ten = o.ten
 	}
 }
 
@@ -145,10 +168,30 @@ func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 		fu.resolve()
 		return fu
 	}
-	b, err := f.bound(dst)
+	var b *core.Bound
+	var err error
+	ten := cfg.ten
+	if ten == nil {
+		ten = f.ten
+	}
+	if ten != nil {
+		b, err = f.viewBound(ten, dst)
+	} else {
+		b, err = f.bound(dst)
+	}
 	if err != nil {
 		fu.fail(err)
 		return fu
+	}
+	if ten != nil && ten.Admission != nil {
+		// Admission runs on the issuing node's shard against issuer-owned
+		// bucket state, clocked by the shard-local engine — deterministic
+		// for every worker count. The channel's credit-stall count is the
+		// congestion feedback.
+		if dec := ten.Admit(f.src, fu.eng.Now(), n, b.CreditStalls()); !dec.OK {
+			fu.fail(ten.Reject(dec))
+			return fu
+		}
 	}
 	fu.injected = !cfg.local
 	switch {

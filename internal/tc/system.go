@@ -8,6 +8,7 @@ import (
 	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
+	"twochains/internal/tenant"
 )
 
 // System is N simulated Two-Chains processes on one fabric backend. It
@@ -19,6 +20,12 @@ type System struct {
 	// recycled on its source node's shard, so under the parallel engine
 	// each list stays single-owner.
 	futures [][]*Future
+	// tenants and arbs are the multi-tenant serving state, created by the
+	// first AddTenant: the tenant registry (issuer-owned admission
+	// buckets) and one fair-service arbiter per receiving node
+	// (receiver-shard-owned fair-queue state).
+	tenants *tenant.Registry
+	arbs    []*mailbox.FairArbiter
 }
 
 // SystemOpt adjusts the deployment template before the system is built.

@@ -1,0 +1,146 @@
+package tc
+
+import (
+	"fmt"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/model"
+	"twochains/internal/tenant"
+)
+
+// AddTenant registers a serving tenant: a per-tenant package namespace
+// on every node, a weighted fair-queue class on every node's service
+// arbiter, and (when cfg.Admission is set) token-bucket admission
+// control on the issue path. Tenants must be added before their first
+// InstallPackageFor or Call — in setup code or while the engine executes
+// serially.
+func (s *System) AddTenant(cfg tenant.Config) (*tenant.Tenant, error) {
+	if s.tenants == nil {
+		s.tenants = tenant.NewRegistry(s.mesh.Nodes())
+		s.arbs = make([]*mailbox.FairArbiter, s.mesh.Nodes())
+		for i := range s.arbs {
+			s.arbs[i] = mailbox.NewFairArbiter()
+		}
+	}
+	t, err := s.tenants.Add(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The tenant's dense ID is its arbiter class on every node: AddClass
+	// allocates classes densely in the same order on each arbiter.
+	for i, arb := range s.arbs {
+		if class := arb.AddClass(t.Weight); class != t.ID {
+			return nil, fmt.Errorf("tc: tenant %s: arbiter class %d on node %d, want %d",
+				t.Name, class, i, t.ID)
+		}
+	}
+	return t, nil
+}
+
+// Tenant returns a registered tenant by name.
+func (s *System) Tenant(name string) (*tenant.Tenant, bool) {
+	if s.tenants == nil {
+		return nil, false
+	}
+	return s.tenants.Lookup(name)
+}
+
+// Tenants returns the registered tenants in AddTenant order (nil when
+// the system is single-tenant).
+func (s *System) Tenants() []*tenant.Tenant {
+	if s.tenants == nil {
+		return nil
+	}
+	return s.tenants.List()
+}
+
+// InstallPackageFor installs pkg on every node inside the tenant's
+// package namespace, under the tenant-qualified name. Two tenants can
+// install different apps — or different versions of the same app —
+// without element-ID or RIED-namespace collisions: each install gets
+// node-unique package IDs and resolves symbols in the tenant's namespace
+// view only.
+func (s *System) InstallPackageFor(tenantName string, pkg *core.Package) error {
+	t, ok := s.Tenant(tenantName)
+	if !ok {
+		return fmt.Errorf("tc: install: unknown tenant %q", tenantName)
+	}
+	return s.mesh.InstallPackageView(t.Name, tenant.Qualified(t.Name, pkg.Name), pkg)
+}
+
+// FuncFor returns a handle for an element of a tenant's install of pkg,
+// sent from node src. Calls through the handle run under the tenant: the
+// tenant's namespace view resolves the bindings, its arbiter class
+// shares the receiving nodes fairly, and its token bucket (if any)
+// admits or rejects each call at issue.
+func (s *System) FuncFor(tenantName string, src int, pkg, elem string) (*Func, error) {
+	t, ok := s.Tenant(tenantName)
+	if !ok {
+		return nil, fmt.Errorf("tc: func: unknown tenant %q", tenantName)
+	}
+	if src < 0 || src >= s.mesh.Nodes() {
+		return nil, fmt.Errorf("tc: func: source node %d out of range (%d nodes)", src, s.mesh.Nodes())
+	}
+	q := tenant.Qualified(t.Name, pkg)
+	inst, ok := s.mesh.Node(src).Package(q)
+	if !ok {
+		return nil, fmt.Errorf("tc: func: package %q not installed for tenant %q on node %d",
+			pkg, t.Name, src)
+	}
+	e, ok := inst.Pkg.Element(elem)
+	if !ok {
+		return nil, fmt.Errorf("tc: func: no element %q in package %q", elem, pkg)
+	}
+	if e.Kind != core.ElemJam {
+		return nil, fmt.Errorf("tc: func: element %q in package %q is a %s, not a jam", elem, pkg, e.Kind)
+	}
+	return &Func{sys: s, src: src, shard: s.mesh.ShardOf(src), pkg: q, elem: elem, ten: t,
+		bounds: make([]*core.Bound, s.mesh.Nodes())}, nil
+}
+
+// viewChannel returns the src->dst channel of the tenant's namespace
+// view, enrolling its receiver with dst's fair arbiter (class = tenant
+// ID) and pricing the isolation boundary for untrusted tenants on
+// creation.
+func (s *System) viewChannel(src, dst int, t *tenant.Tenant) (*core.Channel, error) {
+	return s.mesh.ChannelView(src, dst, t.Name, func(rc mailbox.ReceiverConfig) mailbox.ReceiverConfig {
+		rc = rc.WithArbiter(s.arbs[dst], t.ID)
+		if t.Untrusted {
+			rc = rc.WithIsolationCost(model.TenantIsolationCost)
+		}
+		return rc
+	})
+}
+
+// viewBound resolves the per-destination handle for a call attributed to
+// tenant t: the handle's own bound cache when the handle belongs to t
+// (FuncFor), a side cache when a base handle is called WithTenant.
+func (f *Func) viewBound(t *tenant.Tenant, dst int) (*core.Bound, error) {
+	if dst < 0 || dst >= len(f.bounds) {
+		return nil, fmt.Errorf("tc: func: destination node %d out of range (%d nodes)", dst, len(f.bounds))
+	}
+	own := t == f.ten
+	key := t.ID*len(f.bounds) + dst
+	if own {
+		if b := f.bounds[dst]; b != nil {
+			return b, nil
+		}
+	} else if b := f.tbounds[key]; b != nil {
+		return b, nil
+	}
+	ch, err := f.sys.viewChannel(f.src, dst, t)
+	if err != nil {
+		return nil, err
+	}
+	b := ch.Handle(f.pkg, f.elem)
+	if own {
+		f.bounds[dst] = b
+	} else {
+		if f.tbounds == nil {
+			f.tbounds = map[int]*core.Bound{}
+		}
+		f.tbounds[key] = b
+	}
+	return b, nil
+}

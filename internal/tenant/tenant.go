@@ -1,0 +1,280 @@
+// Package tenant is the multi-tenant serving layer's state: named
+// tenants with fair-share weights, per-tenant admission control (token
+// buckets in simulated time, fed back by sender credit telemetry), and
+// the naming convention that keys per-tenant package namespaces.
+//
+// The package is deliberately thin — plain deterministic state machines
+// over sim time — so it can sit under both the tc call path and the
+// workload driver without dragging either's dependencies along.
+//
+// # Ownership domains
+//
+// All tenant state is partitioned to respect the parallel engine's
+// per-shard ownership rules (see ROADMAP "Multi-tenant serving"):
+//
+//   - Admission buckets are indexed by the *issuing* node. A bucket is
+//     only ever read or written from Admit calls made on that node's
+//     shard (tc.Func.Call runs on the source shard), so equal seeds give
+//     bit-identical admission decisions for every worker count.
+//   - Fair-queue state lives in mailbox.FairArbiter on the *receiving*
+//     node's shard, not here; the tenant only contributes its dense ID
+//     (the arbiter class) and weight.
+//   - The per-node admit/drop/defer counters are likewise issuer-owned;
+//     Stats sums them only after the simulation has quiesced.
+package tenant
+
+import (
+	"fmt"
+
+	"twochains/internal/sim"
+)
+
+// Qualified returns the name a tenant's install of pkg registers under
+// on every node — the per-tenant package namespace key. Two tenants
+// installing the same app (or different versions of it) get distinct
+// qualified names, hence distinct installed-package IDs and element-ID
+// spaces.
+func Qualified(tenant, pkg string) string { return tenant + "::" + pkg }
+
+// Policy selects what a failed admission does to the call.
+type Policy uint8
+
+const (
+	// Drop rejects the call outright: the future resolves with an
+	// *AdmissionError carrying no retry hint.
+	Drop Policy = iota
+	// Defer rejects the call with a retry hint: the future resolves with
+	// an *AdmissionError whose RetryAfter says when the bucket will have
+	// refilled enough for the call to pass.
+	Defer
+)
+
+// Admission is a tenant's token-bucket configuration. The bucket is
+// per *sender node* (matching the per-sender convention of open-loop
+// arrival rates): each node's issue stream draws from its own bucket,
+// refilled in simulated time.
+type Admission struct {
+	// RatePerSec is the sustained admission rate in messages per
+	// simulated second, per sender node. Must be > 0.
+	RatePerSec float64
+	// Burst is the bucket capacity in messages (0 defaults to the larger
+	// of one message and ~10 ms worth of rate).
+	Burst float64
+	// Policy selects Drop (default) or Defer on an empty bucket.
+	Policy Policy
+	// StallPenalty deducts that many tokens for every newly observed
+	// credit stall on the call's channel — the feedback loop from the
+	// mailbox flow-control telemetry: a tenant whose traffic is already
+	// backing up the fabric is throttled harder than its nominal rate.
+	StallPenalty float64
+}
+
+// withDefaults returns the config with zero fields resolved.
+func (a Admission) withDefaults() Admission {
+	if a.Burst <= 0 {
+		a.Burst = a.RatePerSec / 100
+		if a.Burst < 1 {
+			a.Burst = 1
+		}
+	}
+	return a
+}
+
+// Decision is one admission outcome.
+type Decision struct {
+	OK bool
+	// RetryAfter is the Defer hint: how long until the bucket will hold
+	// enough tokens (zero under Drop).
+	RetryAfter sim.Duration
+}
+
+// AdmissionError is the typed error a rejected call resolves with; the
+// tc layer surfaces it through Future.IssueErr, so issue loops can
+// switch on it (and honor RetryAfter) instead of parsing messages.
+type AdmissionError struct {
+	Tenant string
+	// Deferred distinguishes a Defer rejection (RetryAfter is the
+	// bucket's refill horizon) from a Drop.
+	Deferred   bool
+	RetryAfter sim.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	if e.Deferred {
+		return fmt.Sprintf("tenant %s: admission deferred (retry in %s)", e.Tenant, e.RetryAfter)
+	}
+	return fmt.Sprintf("tenant %s: admission dropped", e.Tenant)
+}
+
+// bucket is one sender node's token bucket.
+type bucket struct {
+	tokens float64
+	last   sim.Time
+	// stalls is the channel credit-stall count already charged, so only
+	// the delta since the last Admit is penalized.
+	stalls uint64
+	inited bool
+}
+
+// AdmitStats aggregates a tenant's admission outcomes (Stats sums the
+// issuer-owned per-node counters; call it only outside the simulation).
+type AdmitStats struct {
+	Admitted uint64
+	Dropped  uint64
+	Deferred uint64
+}
+
+// Tenant is one serving tenant: a dense ID (the fair-queue class on
+// every receiving node), a fair-share weight, and optional admission
+// control.
+type Tenant struct {
+	Name   string
+	ID     int
+	Weight int
+	// Admission is the token-bucket config (nil = unlimited).
+	Admission *Admission
+	// Untrusted marks the tenant's jams as requiring an isolation
+	// boundary per invocation (priced by model.TenantIsolationCost at the
+	// receiver).
+	Untrusted bool
+
+	// Issuer-owned per-node state (see the package comment).
+	buckets  []bucket
+	admitted []uint64
+	dropped  []uint64
+	deferred []uint64
+}
+
+// Admit charges n messages issued from node src at simulated time now
+// against the tenant's bucket, with stalls the issuing channel's
+// cumulative credit-stall count (the telemetry feedback). It must be
+// called from src's shard only. A tenant without admission control
+// admits everything.
+func (t *Tenant) Admit(src int, now sim.Time, n int, stalls uint64) Decision {
+	if t.Admission == nil {
+		return Decision{OK: true}
+	}
+	a := t.Admission
+	b := &t.buckets[src]
+	if !b.inited {
+		b.tokens, b.last, b.stalls, b.inited = a.Burst, now, stalls, true
+	}
+	if d := now.Sub(b.last); d > 0 {
+		b.tokens += d.Seconds() * a.RatePerSec
+		if b.tokens > a.Burst {
+			b.tokens = a.Burst
+		}
+		b.last = now
+	}
+	if a.StallPenalty > 0 && stalls > b.stalls {
+		b.tokens -= float64(stalls-b.stalls) * a.StallPenalty
+		// Debt is capped at one bucket so a stall storm throttles the
+		// tenant for a bounded horizon instead of forever.
+		if b.tokens < -a.Burst {
+			b.tokens = -a.Burst
+		}
+	}
+	b.stalls = stalls
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		t.admitted[src] += uint64(n)
+		return Decision{OK: true}
+	}
+	if a.Policy == Defer {
+		t.deferred[src]++
+		wait := (need - b.tokens) / a.RatePerSec // seconds until refilled
+		return Decision{RetryAfter: sim.Duration(wait*float64(sim.Second)) + 1}
+	}
+	t.dropped[src] += uint64(n)
+	return Decision{}
+}
+
+// Reject builds the typed error for a failed Decision.
+func (t *Tenant) Reject(d Decision) *AdmissionError {
+	return &AdmissionError{Tenant: t.Name, Deferred: d.RetryAfter > 0, RetryAfter: d.RetryAfter}
+}
+
+// Stats sums the per-node admission counters. Call it only while the
+// simulation is not running (the counters are shard-owned).
+func (t *Tenant) Stats() AdmitStats {
+	var s AdmitStats
+	for i := range t.admitted {
+		s.Admitted += t.admitted[i]
+		s.Dropped += t.dropped[i]
+		s.Deferred += t.deferred[i]
+	}
+	return s
+}
+
+// Config declares one tenant.
+type Config struct {
+	Name   string
+	Weight int
+	// Admission enables token-bucket admission control (nil = none).
+	Admission *Admission
+	// Untrusted prices an isolation boundary per invocation at the
+	// receiver (the Virtines-grounded model.TenantIsolationCost knob).
+	Untrusted bool
+}
+
+// Registry is the per-system tenant set: dense IDs in Add order, unique
+// names, per-node bucket state sized to the node count.
+type Registry struct {
+	nodes  int
+	list   []*Tenant
+	byName map[string]*Tenant
+}
+
+// NewRegistry returns an empty registry for a fabric of nodes nodes.
+func NewRegistry(nodes int) *Registry {
+	return &Registry{nodes: nodes, byName: map[string]*Tenant{}}
+}
+
+// Add registers a tenant and returns it. Names must be unique and
+// non-empty, weights >= 1, and admission rates > 0.
+func (g *Registry) Add(cfg Config) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("tenant: empty name")
+	}
+	if _, dup := g.byName[cfg.Name]; dup {
+		return nil, fmt.Errorf("tenant: duplicate tenant %q", cfg.Name)
+	}
+	if cfg.Weight < 1 {
+		return nil, fmt.Errorf("tenant: %s: weight must be >= 1, have %d", cfg.Name, cfg.Weight)
+	}
+	t := &Tenant{
+		Name:      cfg.Name,
+		ID:        len(g.list),
+		Weight:    cfg.Weight,
+		Untrusted: cfg.Untrusted,
+		buckets:   make([]bucket, g.nodes),
+		admitted:  make([]uint64, g.nodes),
+		dropped:   make([]uint64, g.nodes),
+		deferred:  make([]uint64, g.nodes),
+	}
+	if cfg.Admission != nil {
+		if !(cfg.Admission.RatePerSec > 0) {
+			return nil, fmt.Errorf("tenant: %s: admission rate must be > 0, have %v",
+				cfg.Name, cfg.Admission.RatePerSec)
+		}
+		a := cfg.Admission.withDefaults()
+		t.Admission = &a
+	}
+	g.list = append(g.list, t)
+	g.byName[cfg.Name] = t
+	return t, nil
+}
+
+// Lookup returns the named tenant.
+func (g *Registry) Lookup(name string) (*Tenant, bool) {
+	t, ok := g.byName[name]
+	return t, ok
+}
+
+// List returns the tenants in Add (dense-ID) order; the slice is shared,
+// not a copy.
+func (g *Registry) List() []*Tenant { return g.list }
+
+// Len returns the tenant count.
+func (g *Registry) Len() int { return len(g.list) }

@@ -38,6 +38,45 @@ func KVStoreScenario(nodes int) Scenario {
 	}
 }
 
+// OverloadBaseRate is the per-sender Poisson rate (bursts/sec) that
+// OverloadScenario calls 1x offered load. It is calibrated so that at
+// mult = 1 the fabric keeps up and past mult ~= 2 the receivers are the
+// bottleneck — overload behaviour (weighted-fair shares, credit-stall
+// queueing) dominates the measurement.
+const OverloadBaseRate = 120_000.0
+
+// OverloadScenario is the stock multi-tenant overload composition: two
+// tenants — "gold" (weight 3) and "bronze" (weight 1) — offer identical
+// all-to-all tcbench traffic open-loop at mult times the calibrated 1x
+// rate. Under overload the weighted-fair receivers should service them
+// 3:1 inside the overlap window regardless of arrival interleaving;
+// Result.Tenants reports each tenant's goodput, p99 simulated latency,
+// and drop/defer counts (zero here — admission is left off so the fair
+// queue, not the issue path, is the mechanism under test).
+func OverloadScenario(nodes int, mult float64) Scenario {
+	if mult <= 0 {
+		mult = 1
+	}
+	return Scenario{
+		Pattern:      AllToAll,
+		Nodes:        nodes,
+		Burst:        4,
+		Rounds:       12,
+		PayloadBytes: 32,
+		Seed:         0x7c2c2025,
+		Timing:       true,
+		Phases: []Phase{{
+			Name:    "overload",
+			Arrival: &Arrival{Kind: Poisson, RatePerSec: OverloadBaseRate * mult},
+			Mix:     []ElementMix{{Elem: "jam_iput", Weight: 1}},
+		}},
+		Tenants: []TenantSpec{
+			{Name: "gold", Weight: 3},
+			{Name: "bronze", Weight: 1},
+		},
+	}
+}
+
 // MultiPhaseScenario is the multi-phase, multi-package composed
 // scenario: a tcbench all-to-all warmup, then a fanout phase that opens
 // with a RIED swap on node 1 (the remote-linking dynamic update as

@@ -1,0 +1,664 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"twochains/internal/core"
+	"twochains/internal/mailbox"
+	"twochains/internal/sim"
+	"twochains/internal/tc"
+	"twochains/internal/tenant"
+)
+
+// AdmitSpec is a tenant's token-bucket admission configuration in
+// scenario form (see tenant.Admission for the semantics).
+type AdmitSpec struct {
+	// RatePerSec is the sustained admission rate per sender node in
+	// messages per simulated second (> 0).
+	RatePerSec float64
+	// Burst is the bucket capacity in messages (0 = default).
+	Burst float64
+	// Defer rejects with a retry hint instead of dropping; the driver
+	// honours the hint and re-issues the burst.
+	Defer bool
+	// StallPenalty deducts tokens per newly observed credit stall on the
+	// issuing channel — congestion feedback from the mailbox telemetry.
+	StallPenalty float64
+}
+
+// TenantSpec declares one tenant of a multi-tenant scenario.
+type TenantSpec struct {
+	Name string
+	// Weight is the tenant's fair-share weight at every receiving node
+	// (>= 1).
+	Weight int
+	// Load scales the tenant's open-loop Poisson rates (0 = 1.0) — the
+	// overload-composition knob: the same phase list at 2x, 10x, ...
+	Load float64
+	// Admit enables token-bucket admission control (nil = none).
+	Admit *AdmitSpec
+	// Untrusted prices an isolation boundary per invocation at the
+	// receiver (model.TenantIsolationCost).
+	Untrusted bool
+	// Phases is the tenant's own phase list; empty reuses the
+	// scenario-level phases. RIED swaps are not supported inside tenant
+	// phases.
+	Phases []Phase
+}
+
+// TenantResult is one tenant's slice of a multi-tenant run.
+type TenantResult struct {
+	Name   string
+	Weight int
+	// Planned counts the tenant's planned messages; Serviced those that
+	// completed receiver-side service (handler faults included); Dropped
+	// and Deferred the admission outcomes (Deferred counts deferral
+	// events — one burst can defer more than once); Errors the
+	// receiver-side failures.
+	Planned  int
+	Serviced int
+	Dropped  int
+	Deferred int
+	Errors   int
+	// GoodputPerSec is the tenant's serviced messages per simulated
+	// second inside the run's overlap window (the fair-share comparison
+	// metric); RatePerSec the whole-run average.
+	GoodputPerSec float64
+	RatePerSec    float64
+	// P99Latency is the 99th percentile of issue-to-delivery simulated
+	// latency (credit stalls under overload push it up); LastService the
+	// tenant's final service stamp.
+	P99Latency  sim.Duration
+	LastService sim.Duration
+	// Phases are the tenant's per-phase results.
+	Phases []PhaseResult
+}
+
+// laneSpec is one tenant with its resolved phase specs.
+type laneSpec struct {
+	cfg   tenant.Config
+	load  float64
+	specs []phaseSpec
+}
+
+// resolveTenants validates the tenant surface and resolves each
+// tenant's phase list (its own, or the scenario-level base), scaling
+// open-loop rates by Load.
+func (sc *Scenario) resolveTenants(base []phaseSpec) ([]laneSpec, error) {
+	lanes := make([]laneSpec, len(sc.Tenants))
+	seen := map[string]bool{}
+	for i, ts := range sc.Tenants {
+		at := func(f string) string { return fmt.Sprintf("Tenants[%d].%s", i, f) }
+		if ts.Name == "" {
+			return nil, &ScenarioError{Field: at("Name"), Reason: "empty tenant name"}
+		}
+		if seen[ts.Name] {
+			return nil, &ScenarioError{Field: at("Name"), Reason: fmt.Sprintf("duplicate tenant %q", ts.Name)}
+		}
+		seen[ts.Name] = true
+		if ts.Weight < 1 {
+			return nil, &ScenarioError{Field: at("Weight"),
+				Reason: fmt.Sprintf("fair-share weight must be >= 1, have %d", ts.Weight)}
+		}
+		if ts.Load < 0 {
+			return nil, &ScenarioError{Field: at("Load"), Reason: fmt.Sprintf("negative load factor %v", ts.Load)}
+		}
+		load := ts.Load
+		if load == 0 {
+			load = 1
+		}
+		var specs []phaseSpec
+		if len(ts.Phases) > 0 {
+			tsc := *sc
+			tsc.Phases = ts.Phases
+			tsc.Tenants = nil
+			var err error
+			specs, err = tsc.resolvePhases()
+			if err != nil {
+				var se *ScenarioError
+				if errors.As(err, &se) {
+					return nil, &ScenarioError{Field: fmt.Sprintf("Tenants[%d].%s", i, se.Field), Reason: se.Reason}
+				}
+				return nil, err
+			}
+			for j := range specs {
+				specs[j].fieldPrefix = fmt.Sprintf("Tenants[%d].", i) + specs[j].fieldPrefix
+			}
+		} else {
+			// The tenant rides the scenario-level phases; copy so Load
+			// scaling below stays per-tenant.
+			specs = append([]phaseSpec(nil), base...)
+		}
+		for j := range specs {
+			if specs[j].swap != nil {
+				return nil, &ScenarioError{Field: specs[j].at("Swap"),
+					Reason: "RIED swaps are not supported in tenant phases"}
+			}
+			if specs[j].arrival.Kind == Poisson {
+				specs[j].arrival.RatePerSec *= load
+			}
+		}
+		lanes[i] = laneSpec{load: load, specs: specs, cfg: tenant.Config{
+			Name: ts.Name, Weight: ts.Weight, Untrusted: ts.Untrusted,
+		}}
+		if ts.Admit != nil {
+			if !(ts.Admit.RatePerSec > 0) {
+				return nil, &ScenarioError{Field: at("Admit.RatePerSec"),
+					Reason: fmt.Sprintf("admission rate must be > 0, have %v", ts.Admit.RatePerSec)}
+			}
+			pol := tenant.Drop
+			if ts.Admit.Defer {
+				pol = tenant.Defer
+			}
+			lanes[i].cfg.Admission = &tenant.Admission{
+				RatePerSec:   ts.Admit.RatePerSec,
+				Burst:        ts.Admit.Burst,
+				Policy:       pol,
+				StallPenalty: ts.Admit.StallPenalty,
+			}
+		}
+	}
+	return lanes, nil
+}
+
+// lane is one tenant's runtime state: its plans, phase cursor, progress
+// counters, and per-shard sample stores (service stamps on the
+// receiving shard, latency samples on the issuing shard — each slice is
+// only ever appended to from its owning shard's worker).
+type lane struct {
+	idx  int
+	name string
+	ten  *tenant.Tenant
+	spec laneSpec
+
+	plans []*phasePlan
+	cum   []int
+	total int
+	phase int
+
+	// progress counts serviced + dropped messages; the run (and each
+	// phase barrier) completes when it reaches the planned total.
+	progress  atomic.Int64
+	dropped   atomic.Int64
+	deferred  atomic.Int64
+	phaseExec []atomic.Int64
+	phases    []PhaseResult
+
+	fns  []map[[2]string]*tc.Func
+	svc  [][]sim.Time     // service-completion stamps, per dst shard
+	lat  [][]sim.Duration // issue-to-delivery samples, per src shard
+	errs []int64          // receiver-side failures, per dst shard
+}
+
+// laneChanKey identifies a tenant channel the open phases still need.
+type laneChanKey struct {
+	src, dst int
+	view     string
+}
+
+// laneFn resolves (and caches) the lane's tenant-scoped handle for one
+// element.
+func (r *runner) laneFn(l *lane, src int, pkg, elem string) (*tc.Func, error) {
+	m := l.fns[src]
+	if m == nil {
+		m = map[[2]string]*tc.Func{}
+		l.fns[src] = m
+	}
+	key := [2]string{pkg, elem}
+	if f, ok := m[key]; ok {
+		return f, nil
+	}
+	f, err := r.sys.FuncFor(l.name, src, pkg, elem)
+	if err != nil {
+		return nil, err
+	}
+	m[key] = f
+	return f, nil
+}
+
+// laneProgress folds n completed (serviced or dropped) messages into the
+// lane and advances its phase cursor. Phase advancement only ever runs
+// while the engine is serial (the multi-phase hold pins it); once every
+// lane is on its final phase this is pure atomics.
+func (r *runner) laneProgress(l *lane, n int) {
+	l.phaseExec[l.phase].Add(int64(n))
+	l.progress.Add(int64(n))
+	for l.phase < len(l.plans)-1 && int(l.progress.Load()) >= l.cum[l.phase] {
+		l.phases[l.phase].End = sim.Duration(r.sys.Now())
+		l.phase++
+		r.openLanePhase(l)
+		if l.phase == len(l.plans)-1 && r.phasesHold {
+			r.pendingLanes--
+			if r.pendingLanes == 0 {
+				r.phasesHold = false
+				r.sys.ReleaseSerial()
+			}
+		}
+	}
+}
+
+// laneDropped accounts an admission-dropped burst: the messages will
+// never reach a receiver, so they count as progress here.
+func (r *runner) laneDropped(l *lane, n int) {
+	l.dropped.Add(int64(n))
+	r.laneProgress(l, n)
+}
+
+// hookLaneChannel instruments a freshly created tenant channel: service
+// stamps and failure counts accrue to the receiving shard's sample
+// store.
+func (r *runner) hookLaneChannel(l *lane, dst int, ch *core.Channel) {
+	shard := r.sys.ShardOf(dst)
+	ch.Recv.OnProcessed = func(_ *mailbox.Delivery, t sim.Time) {
+		l.svc[shard] = append(l.svc[shard], t)
+		r.laneProgress(l, 1)
+	}
+	ch.Recv.OnError = func(d *mailbox.Delivery, _ error) {
+		l.errs[shard]++
+		if d == nil {
+			// The frame never parsed, so OnProcessed will not fire for it;
+			// count it here or the accounting hangs.
+			r.laneProgress(l, 1)
+		}
+	}
+}
+
+// openLanePhase pins the engine serial while the phase has tenant
+// channels to create, then starts the phase's senders.
+func (r *runner) openLanePhase(l *lane) {
+	pp := l.plans[l.phase]
+	if r.sharded {
+		for src := range pp.bursts {
+			for i := range pp.bursts[src] {
+				k := laneChanKey{src, pp.bursts[src][i].dst, l.name}
+				if !r.missingV[k] && !r.sys.Mesh().HasChannelView(src, k.dst, l.name) {
+					r.missingV[k] = true
+				}
+			}
+		}
+		if len(r.missingV) > 0 && !r.pairsHold {
+			r.pairsHold = true
+			r.sys.HoldSerial()
+		}
+	}
+	for src := range pp.bursts {
+		if len(pp.bursts[src]) == 0 {
+			continue
+		}
+		if pp.spec.arrival.Kind == Poisson {
+			r.armOpenLane(l, src, pp.bursts[src])
+		} else {
+			r.armClosedLane(l, src, pp.bursts[src])
+		}
+	}
+}
+
+// armClosedLane is the tenant-scoped self-clocked sender: like
+// armClosedSender, plus admission handling — a deferred burst re-fires
+// at the bucket's retry hint (engine-local, so it is safe inside
+// concurrent windows), a dropped burst counts as progress and the chain
+// moves on.
+func (r *runner) armClosedLane(l *lane, src int, queue []burst) {
+	next := 0
+	eng := r.sys.EngineFor(src)
+	shard := r.sys.ShardOf(src)
+	var issueAt sim.Time
+	var fire func()
+	onDone := func(res tc.Result) {
+		if res.Err == nil && res.Delivered > 0 {
+			l.lat[shard] = append(l.lat[shard], res.Delivered.Sub(issueAt))
+		}
+		fire()
+	}
+	payloadOpt := tc.Payload(r.payload)
+	localOpt := tc.Local()
+	optScratch := make([]tc.CallOpt, 0, 3)
+	fire = func() {
+		for next < len(queue) && !r.failed.Load() {
+			b := &queue[next]
+			fn, err := r.laneFn(l, src, b.mix.Pkg, b.mix.Elem)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
+			if b.local {
+				callOpts = append(callOpts, localOpt)
+			}
+			issueAt = eng.Now()
+			fu := fn.Call(b.dst, b.args[0], callOpts...)
+			if err := fu.IssueErr(); err != nil {
+				// A failed-at-issue future never armed, so recycling is on
+				// us — drops are the steady state under admission control.
+				fu.Release()
+				var ae *tenant.AdmissionError
+				if !errors.As(err, &ae) {
+					r.fail(err)
+					return
+				}
+				if ae.Deferred {
+					l.deferred.Add(1)
+					eng.After(ae.RetryAfter, fire)
+					return
+				}
+				next++
+				r.laneDropped(l, len(b.args))
+				continue
+			}
+			next++
+			fu.Done(onDone)
+			fu.Release()
+			return
+		}
+	}
+	r.sys.After(src, 0, fire)
+}
+
+// armOpenLane is the tenant-scoped open-loop sender: bursts issue at
+// their pre-drawn offsets; a deferred burst re-issues at the retry hint
+// while later bursts keep their own schedule (offered load stays open).
+func (r *runner) armOpenLane(l *lane, src int, queue []burst) {
+	eng := r.sys.EngineFor(src)
+	shard := r.sys.ShardOf(src)
+	payloadOpt := tc.Payload(r.payload)
+	localOpt := tc.Local()
+	optScratch := make([]tc.CallOpt, 0, 3)
+	for i := range queue {
+		b := &queue[i]
+		var issueAt sim.Time
+		var send func()
+		onDone := func(res tc.Result) {
+			if res.Err == nil && res.Delivered > 0 {
+				l.lat[shard] = append(l.lat[shard], res.Delivered.Sub(issueAt))
+			}
+		}
+		send = func() {
+			if r.failed.Load() {
+				return
+			}
+			fn, err := r.laneFn(l, src, b.mix.Pkg, b.mix.Elem)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
+			if b.local {
+				callOpts = append(callOpts, localOpt)
+			}
+			issueAt = eng.Now()
+			fu := fn.Call(b.dst, b.args[0], callOpts...)
+			if err := fu.IssueErr(); err != nil {
+				fu.Release()
+				var ae *tenant.AdmissionError
+				if !errors.As(err, &ae) {
+					r.fail(err)
+					return
+				}
+				if ae.Deferred {
+					l.deferred.Add(1)
+					eng.After(ae.RetryAfter, send)
+					return
+				}
+				r.laneDropped(l, len(b.args))
+				return
+			}
+			fu.Done(onDone)
+			fu.Release()
+		}
+		r.sys.After(src, b.at, send)
+	}
+}
+
+// runTenants executes a multi-tenant scenario: one traffic lane per
+// tenant over per-tenant package namespaces, weighted-fair servicing at
+// every receiver, admission on the issue path, and per-tenant
+// goodput/latency reporting. base is the scenario-level resolved phase
+// list (the default lane program).
+func runTenants(sc *Scenario, base []phaseSpec) (*Result, error) {
+	laneSpecs, err := sc.resolveTenants(base)
+	if err != nil {
+		return nil, err
+	}
+	// Frame geometry and package builds cover every lane's specs.
+	var all []phaseSpec
+	for i := range laneSpecs {
+		all = append(all, laneSpecs[i].specs...)
+	}
+	pkgs, err := packagesFor(all)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := frameSizeFor(pkgs, all, sc.PayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := []tc.SystemOpt{
+		tc.WithSeed(sc.Seed),
+		tc.WithTiming(sc.Timing),
+		tc.WithBackend(sc.Backend),
+		tc.WithWorkers(sc.Workers),
+		tc.WithSpeculation(sc.Speculation),
+		tc.WithConfig(func(c *core.MeshConfig) { c.Geometry.FrameSize = frame }),
+	}
+	if sc.Shards > 0 {
+		opts = append(opts, tc.WithShards(sc.Shards))
+	}
+	sys, err := tc.NewSystem(sc.Nodes, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	topo := Topology{Nodes: sc.Nodes, Shards: sys.Mesh().Cfg.Shards, ShardOf: sys.ShardOf}
+	res := &Result{
+		Scenario: *sc,
+		Shards:   topo.Shards,
+		Workers:  sys.Workers(),
+		PerNode:  make([]NodeResult, sc.Nodes),
+		HotNode:  -1,
+	}
+	r := &runner{
+		sc:         sc,
+		sys:        sys,
+		res:        res,
+		fns:        make([]map[[2]string]*tc.Func, sc.Nodes),
+		payload:    make([]byte, sc.PayloadBytes),
+		sharded:    sys.Sharded(),
+		missing:    map[[2]int]bool{},
+		missingV:   map[laneChanKey]bool{},
+		laneByView: map[string]*lane{},
+	}
+	for i := range r.payload {
+		r.payload[i] = byte(i*31 + 7)
+	}
+
+	// Tenants register in declared order (dense IDs = arbiter classes);
+	// each installs its packages in name order, so package IDs are a pure
+	// function of the scenario.
+	nShards := topo.Shards
+	for i := range laneSpecs {
+		ls := &laneSpecs[i]
+		tn, err := sys.AddTenant(ls.cfg)
+		if err != nil {
+			return nil, err
+		}
+		l := &lane{
+			idx: i, name: tn.Name, ten: tn, spec: *ls,
+			plans:     make([]*phasePlan, len(ls.specs)),
+			cum:       make([]int, len(ls.specs)),
+			phaseExec: make([]atomic.Int64, len(ls.specs)),
+			phases:    make([]PhaseResult, len(ls.specs)),
+			fns:       make([]map[[2]string]*tc.Func, sc.Nodes),
+			svc:       make([][]sim.Time, nShards),
+			lat:       make([][]sim.Duration, nShards),
+			errs:      make([]int64, nShards),
+		}
+		r.lanes = append(r.lanes, l)
+		r.laneByView[l.name] = l
+		lanePkgs := map[string]*core.Package{}
+		for j := range ls.specs {
+			for _, m := range ls.specs[j].mix {
+				lanePkgs[m.Pkg] = pkgs[m.Pkg]
+			}
+		}
+		for _, name := range sortedKeys(lanePkgs) {
+			if err := sys.InstallPackageFor(l.name, lanePkgs[name]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sys.Mesh().OnChannelCreated = r.onChannel
+
+	// Plans: lanes in declared order, phases in order, one seeded RNG —
+	// the whole schedule is a pure function of the scenario.
+	grandTotal := 0
+	for _, l := range r.lanes {
+		total := 0
+		for j := range l.spec.specs {
+			pp, err := buildPlan(sc, topo, &l.spec.specs[j], sys.RNG())
+			if err != nil {
+				return nil, err
+			}
+			l.plans[j] = pp
+			total += pp.total
+			l.cum[j] = total
+			l.phases[j].Name = l.spec.specs[j].name
+			l.phases[j].Planned = pp.total
+			for dst, n := range pp.sent {
+				res.PerNode[dst].Sent += n
+			}
+		}
+		l.total = total
+		grandTotal += total
+	}
+
+	for i := 0; i < sc.Nodes; i++ {
+		node := i
+		sys.Node(i).OnExecuted = func(ret uint64, _ sim.Duration, err error) {
+			// Digest and per-node tallies only: lane progress and phase
+			// barriers ride the per-channel receiver hooks, which can
+			// attribute each service to its tenant.
+			nr := &res.PerNode[node]
+			if err != nil {
+				nr.Errors++
+			} else {
+				nr.Executed++
+				nr.Digest = nr.Digest*1099511628211 + ret + 1
+			}
+			if sc.OnExecuted != nil {
+				sc.OnExecuted(node, ret, err)
+			}
+		}
+	}
+
+	if r.sharded {
+		r.pendingLanes = 0
+		for _, l := range r.lanes {
+			if len(l.plans) > 1 {
+				r.pendingLanes++
+			}
+		}
+		if r.pendingLanes > 0 {
+			r.phasesHold = true
+			sys.HoldSerial()
+		}
+	}
+	for _, l := range r.lanes {
+		r.openLanePhase(l)
+	}
+	sys.Run()
+	sys.Mesh().OnChannelCreated = nil
+	if r.issueErr != nil {
+		return nil, r.issueErr
+	}
+
+	res.SimTime = sim.Duration(sys.Now())
+	res.Windows = sys.Windows()
+	res.Mesh = sys.Stats()
+	for _, nr := range res.PerNode {
+		res.Injections += nr.Executed
+		res.Digest += nr.Digest
+	}
+	if secs := res.SimTime.Seconds(); secs > 0 {
+		res.RatePerSec = float64(res.Injections) / secs
+	}
+
+	// The overlap window: every tenant's servicing overlaps in [0, W], so
+	// goodput inside it compares fair shares instead of drain tails.
+	window := sim.Time(0)
+	for i, l := range r.lanes {
+		last := sim.Time(0)
+		for _, stamps := range l.svc {
+			for _, t := range stamps {
+				if t > last {
+					last = t
+				}
+			}
+		}
+		if i == 0 || last < window {
+			window = last
+		}
+	}
+	res.OverlapWindow = sim.Duration(window)
+
+	done := 0
+	for _, l := range r.lanes {
+		tr := TenantResult{
+			Name: l.name, Weight: l.ten.Weight,
+			Planned:  l.total,
+			Dropped:  int(l.dropped.Load()),
+			Deferred: int(l.deferred.Load()),
+			Phases:   l.phases,
+		}
+		for j := range l.phases {
+			l.phases[j].Executed = int(l.phaseExec[j].Load())
+		}
+		if len(l.phases) > 0 && l.phases[len(l.phases)-1].End == 0 {
+			l.phases[len(l.phases)-1].End = res.SimTime
+		}
+		inWindow := 0
+		var last sim.Time
+		for _, stamps := range l.svc {
+			for _, t := range stamps {
+				tr.Serviced++
+				if t <= window {
+					inWindow++
+				}
+				if t > last {
+					last = t
+				}
+			}
+		}
+		for _, e := range l.errs {
+			tr.Errors += int(e)
+		}
+		tr.LastService = sim.Duration(last)
+		if secs := sim.Duration(window).Seconds(); secs > 0 {
+			tr.GoodputPerSec = float64(inWindow) / secs
+		}
+		if secs := res.SimTime.Seconds(); secs > 0 {
+			tr.RatePerSec = float64(tr.Serviced) / secs
+		}
+		var lats []sim.Duration
+		for _, ls := range l.lat {
+			lats = append(lats, ls...)
+		}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+			idx := (99*len(lats) + 99) / 100
+			if idx > len(lats) {
+				idx = len(lats)
+			}
+			tr.P99Latency = lats[idx-1]
+		}
+		done += int(l.progress.Load())
+		res.Tenants = append(res.Tenants, tr)
+	}
+	if done != grandTotal {
+		return res, fmt.Errorf("workload: tenants completed %d of %d planned messages", done, grandTotal)
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"twochains/internal/sim"
+)
+
+// wantTenantError asserts both Validate and Run reject the scenario
+// with a *ScenarioError blaming the expected field.
+func wantTenantError(t *testing.T, sc Scenario, field string) {
+	t.Helper()
+	for _, err := range []error{sc.Validate(), func() error { _, err := Run(sc); return err }()} {
+		var se *ScenarioError
+		if !errors.As(err, &se) {
+			t.Fatalf("error = %v, want *ScenarioError for %s", err, field)
+		}
+		if se.Field != field {
+			t.Fatalf("blamed %q (%s), want %q", se.Field, se.Reason, field)
+		}
+	}
+}
+
+// tenantScenario is the shared small multi-tenant fixture: two tenants
+// of unequal weight offering all-to-all open-loop traffic.
+func tenantScenario(nodes int) Scenario {
+	sc := DefaultScenario(AllToAll, nodes)
+	sc.Rounds = 2
+	sc.Burst = 4
+	sc.Seed = 0x7c2c2025
+	sc.Arrival = Arrival{Kind: Poisson, RatePerSec: 150_000}
+	sc.Mix = []ElementMix{{Elem: "jam_iput", Weight: 1}}
+	sc.Tenants = []TenantSpec{
+		{Name: "gold", Weight: 3},
+		{Name: "bronze", Weight: 1},
+	}
+	return sc
+}
+
+// TestTenantValidation pins the typed validation of the tenant surface:
+// every rejection is a *ScenarioError naming the offending field.
+func TestTenantValidation(t *testing.T) {
+	base := tenantScenario(4)
+
+	sc := base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 0}}
+	wantTenantError(t, sc, "Tenants[0].Weight")
+
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "", Weight: 1}}
+	wantTenantError(t, sc, "Tenants[0].Name")
+
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1}, {Name: "gold", Weight: 2}}
+	wantTenantError(t, sc, "Tenants[1].Name")
+
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1, Admit: &AdmitSpec{RatePerSec: 0}}}
+	wantTenantError(t, sc, "Tenants[0].Admit.RatePerSec")
+
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1, Load: -2}}
+	wantTenantError(t, sc, "Tenants[0].Load")
+
+	// A tenant phase referencing an unregistered app blames the tenant's
+	// phase field, not the scenario's.
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1, Phases: []Phase{{
+		Mix: []ElementMix{{Pkg: "no-such-app", Elem: "jam_x", Weight: 1}},
+	}}}}
+	wantTenantError(t, sc, "Tenants[0].Phases[0].Mix[0].Pkg")
+
+	// RIED swaps stay out of tenant phases.
+	sc = base
+	sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1, Phases: []Phase{{
+		Mix:  []ElementMix{{Elem: "jam_iput", Weight: 1}},
+		Swap: &Swap{Node: 0},
+	}}}}
+	wantTenantError(t, sc, "Tenants[0].Phases[0].Swap")
+
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid tenant scenario rejected: %v", err)
+	}
+}
+
+// TestTenantOverloadWeightedShare is the acceptance check of the fair
+// queue: at 4x offered load, two tenants weighted 3:1 must measure
+// per-tenant goodput within 10% of a 3:1 share inside the overlap
+// window, and every planned message must be accounted for.
+func TestTenantOverloadWeightedShare(t *testing.T) {
+	res, err := Run(OverloadScenario(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("tenants reported: %d", len(res.Tenants))
+	}
+	gold, bronze := res.Tenants[0], res.Tenants[1]
+	if gold.Name != "gold" || bronze.Name != "bronze" {
+		t.Fatalf("tenant order: %s, %s", gold.Name, bronze.Name)
+	}
+	if gold.GoodputPerSec <= 0 || bronze.GoodputPerSec <= 0 {
+		t.Fatalf("goodput: gold %v bronze %v", gold.GoodputPerSec, bronze.GoodputPerSec)
+	}
+	ratio := gold.GoodputPerSec / bronze.GoodputPerSec
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("goodput ratio %.3f outside 3:1 +/- 10%% (gold %.0f/s, bronze %.0f/s, window %v)",
+			ratio, gold.GoodputPerSec, bronze.GoodputPerSec, res.OverlapWindow)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Serviced+tr.Dropped != tr.Planned {
+			t.Errorf("tenant %s: serviced %d + dropped %d != planned %d",
+				tr.Name, tr.Serviced, tr.Dropped, tr.Planned)
+		}
+		if tr.P99Latency <= 0 {
+			t.Errorf("tenant %s: p99 latency %v", tr.Name, tr.P99Latency)
+		}
+	}
+	if res.OverlapWindow <= 0 {
+		t.Errorf("overlap window %v", res.OverlapWindow)
+	}
+}
+
+// TestTenantStarvationResistance pins isolation under an aggressor: a
+// 10x overload tenant must not push a well-behaved equal-weight tenant's
+// serviced share below ~90% of its weight share of the overlap window.
+func TestTenantStarvationResistance(t *testing.T) {
+	sc := tenantScenario(4)
+	// Both tenants offer more than their half of the node service
+	// capacity, the aggressor 10x more: only the fair queue keeps the
+	// victim at its share.
+	sc.Rounds = 8
+	sc.Arrival = Arrival{Kind: Poisson, RatePerSec: 250_000}
+	sc.Tenants = []TenantSpec{
+		{Name: "aggressor", Weight: 1, Load: 10},
+		{Name: "victim", Weight: 1},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, vic := res.Tenants[0], res.Tenants[1]
+	if vic.GoodputPerSec <= 0 {
+		t.Fatalf("victim starved outright: %+v", vic)
+	}
+	// Equal weights: inside the overlap window the victim is entitled to
+	// half the serviced throughput.
+	share := vic.GoodputPerSec / (vic.GoodputPerSec + agg.GoodputPerSec)
+	if share < 0.45 {
+		t.Errorf("victim share %.3f under a 10x aggressor, want >= 0.45 (victim %.0f/s, aggressor %.0f/s)",
+			share, vic.GoodputPerSec, agg.GoodputPerSec)
+	}
+}
+
+// TestTenantAdmissionPolicies drives a tenant into its token bucket both
+// ways: Drop sheds load (accounting still balances), Defer backs the
+// sender off until every message eventually lands.
+func TestTenantAdmissionPolicies(t *testing.T) {
+	mk := func(deferPolicy bool) Scenario {
+		sc := DefaultScenario(AllToAll, 3)
+		sc.Rounds = 2
+		sc.Burst = 4
+		sc.Seed = 0x7c2c2025
+		sc.Mix = []ElementMix{{Elem: "jam_iput", Weight: 1}}
+		sc.Tenants = []TenantSpec{{
+			Name: "metered", Weight: 1,
+			Admit: &AdmitSpec{RatePerSec: 50_000, Burst: 4, Defer: deferPolicy},
+		}}
+		return sc
+	}
+	res, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tenants[0]
+	if tr.Dropped == 0 {
+		t.Errorf("drop policy shed nothing: %+v", tr)
+	}
+	if tr.Serviced+tr.Dropped != tr.Planned {
+		t.Errorf("drop accounting: serviced %d + dropped %d != planned %d", tr.Serviced, tr.Dropped, tr.Planned)
+	}
+
+	res, err = Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = res.Tenants[0]
+	if tr.Deferred == 0 {
+		t.Errorf("defer policy never deferred: %+v", tr)
+	}
+	if tr.Dropped != 0 || tr.Serviced != tr.Planned {
+		t.Errorf("defer policy lost messages: %+v", tr)
+	}
+}
+
+// TestTenantWorkersSweepDeterminism extends the parallel determinism
+// property to tenant-sharded scenarios: equal seeds produce bit-identical
+// digests, simulated times, and per-tenant results for every worker
+// count, with and without speculative windows.
+func TestTenantWorkersSweepDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, seed := range []uint64{0x7c2c2021, 0x51edba5e} {
+		sc := tenantScenario(9)
+		sc.Shards = 4
+		sc.Seed = seed
+		// A second phase per tenant exercises the per-lane phase barrier
+		// under the parallel engine.
+		sc.Tenants = []TenantSpec{
+			{Name: "gold", Weight: 3, Phases: []Phase{
+				{Name: "warm", Rounds: 1, Mix: []ElementMix{{Elem: "jam_iput", Weight: 1}}},
+				{Name: "burst", Arrival: &Arrival{Kind: Poisson, RatePerSec: 150_000},
+					Mix: []ElementMix{{Elem: "jam_sssum", Weight: 1}}},
+			}},
+			{Name: "bronze", Weight: 1},
+		}
+		base, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerSweep()[1:] {
+			for _, spec := range []sim.Duration{0, specBudget} {
+				if spec > 0 && w != 4 {
+					continue // one speculative leg keeps -race in budget
+				}
+				runtime.GOMAXPROCS(w)
+				scw := sc
+				scw.Workers = w
+				scw.Speculation = spec
+				res, err := Run(scw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Digest != base.Digest || res.SimTime != base.SimTime || res.Injections != base.Injections {
+					t.Errorf("seed %#x workers %d spec %d: %#x/%d/%d, want %#x/%d/%d",
+						seed, w, spec, res.Digest, int64(res.SimTime), res.Injections,
+						base.Digest, int64(base.SimTime), base.Injections)
+				}
+				if !reflect.DeepEqual(res.Tenants, base.Tenants) {
+					t.Errorf("seed %#x workers %d spec %d: per-tenant results diverged:\n%+v\nwant\n%+v",
+						seed, w, spec, res.Tenants, base.Tenants)
+				}
+			}
+		}
+	}
+}
+
+// TestTenantRunRepeatable re-runs one multi-tenant scenario twice
+// in-process: per-tenant namespaces, arbiters, and buckets must leave no
+// cross-run state.
+func TestTenantRunRepeatable(t *testing.T) {
+	sc := tenantScenario(4)
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.SimTime != b.SimTime || !reflect.DeepEqual(a.Tenants, b.Tenants) {
+		t.Fatalf("back-to-back tenant runs diverged:\n%+v\nvs\n%+v", a.Tenants, b.Tenants)
+	}
+}

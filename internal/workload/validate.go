@@ -43,8 +43,16 @@ func (sc *Scenario) Validate() error {
 	if err := sc.validateScalars(); err != nil {
 		return err
 	}
-	_, err := sc.resolvePhases()
-	return err
+	specs, err := sc.resolvePhases()
+	if err != nil {
+		return err
+	}
+	if len(sc.Tenants) > 0 {
+		if _, err := sc.resolveTenants(specs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // validateScalars checks the phase-independent scenario fields.

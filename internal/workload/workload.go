@@ -182,6 +182,14 @@ type Scenario struct {
 	// Phases composes the run; empty means one closed-loop phase of
 	// Pattern.
 	Phases []Phase
+	// Tenants switches the run into multi-tenant mode: each entry drives
+	// its own traffic lanes (its Phases, or the scenario-level phases when
+	// unset) through a per-tenant package namespace, weighted-fair
+	// servicing at every receiver, and optional token-bucket admission.
+	// Result.Tenants reports per-tenant goodput, drop/defer counts, and
+	// p99 simulated latency. Empty keeps the single-tenant surface
+	// bit-identical to previous releases.
+	Tenants []TenantSpec
 
 	// OnExecuted observes every handler execution (node index, return
 	// value, error) — the hook equivalence tests use to compare injected
@@ -252,6 +260,15 @@ type Result struct {
 	Mesh       core.MeshStats
 	Swapped    bool // a RIED swap fired during the run
 	HotNode    int  // skew target of the last hotspot phase (-1 otherwise)
+	// Tenants reports per-tenant outcomes of a multi-tenant run (nil
+	// otherwise); in that mode per-phase results live on each tenant and
+	// the top-level Phases slice is empty.
+	Tenants []TenantResult
+	// OverlapWindow is the interval every tenant was still being serviced
+	// in: the minimum over tenants of their last service stamp. Per-tenant
+	// goodput is measured inside it, so weight shares compare servicing
+	// rates, not drain tails.
+	OverlapWindow sim.Duration
 }
 
 // burst is one planned batched send.
@@ -357,6 +374,16 @@ type runner struct {
 	pairsHold  bool
 	swapHold   bool
 	missing    map[[2]int]bool // open phase's channels still to create
+
+	// Multi-tenant mode (see tenants.go). Lanes are the per-tenant
+	// traffic programs; laneByView routes channel-creation events to the
+	// owning lane; missingV tracks the tenant channels the open phases
+	// still need; pendingLanes counts lanes still short of their final
+	// phase while the multi-phase hold is up.
+	lanes        []*lane
+	laneByView   map[string]*lane
+	missingV     map[laneChanKey]bool
+	pendingLanes int
 }
 
 // fail records the first issue error and stops every sender.
@@ -369,19 +396,40 @@ func (r *runner) fail(err error) {
 	r.failed.Store(true)
 }
 
-// onChannel observes every lazy channel creation and releases the
-// serial hold once the open phase's channel set is complete.
-func (r *runner) onChannel(src, dst int) {
+// onChannel observes every lazy channel creation: tenant-view channels
+// get their lane's receiver instrumentation attached, and the serial
+// hold releases once the open phases' channel set — base and tenant —
+// is complete.
+func (r *runner) onChannel(src, dst int, view string, ch *core.Channel) {
+	if view != "" {
+		if l := r.laneByView[view]; l != nil {
+			r.hookLaneChannel(l, dst, ch)
+		}
+		if r.pairsHold {
+			k := laneChanKey{src, dst, view}
+			if r.missingV[k] {
+				delete(r.missingV, k)
+				r.maybeReleasePairs()
+			}
+		}
+		return
+	}
 	if !r.pairsHold {
 		return
 	}
 	k := [2]int{src, dst}
 	if r.missing[k] {
 		delete(r.missing, k)
-		if len(r.missing) == 0 {
-			r.pairsHold = false
-			r.sys.ReleaseSerial()
-		}
+		r.maybeReleasePairs()
+	}
+}
+
+// maybeReleasePairs drops the channel-creation hold once no channel —
+// base or tenant-view — is still missing.
+func (r *runner) maybeReleasePairs() {
+	if len(r.missing) == 0 && len(r.missingV) == 0 {
+		r.pairsHold = false
+		r.sys.ReleaseSerial()
 	}
 }
 
@@ -585,6 +633,9 @@ func Run(sc Scenario) (*Result, error) {
 	specs, err := sc.resolvePhases()
 	if err != nil {
 		return nil, err
+	}
+	if len(sc.Tenants) > 0 {
+		return runTenants(&sc, specs)
 	}
 	pkgs, err := packagesFor(specs)
 	if err != nil {
