@@ -6,27 +6,29 @@
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR7.json by
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR8.json by
 # default; override with BENCH_OUT=...) — the machine-readable perf
 # trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
 # vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
 # including the 64/128-node parallel-engine mesh pairs (workers=NumCPU
 # vs workers=1 twins of the same bit-identical simulation), the
-# speculative-window variant, and the multi-tenant overload benchmark
-# with its per-tenant goodput metrics. bench-smoke gates against the
-# newest recorded trajectory file ($(SMOKE_BASELINE)).
+# speculative-window variant, the multi-tenant overload benchmark with
+# its per-tenant goodput metrics, and the chaos-perturbed fail/rejoin
+# mesh with its loss ledger. bench-smoke gates against the newest
+# recorded trajectory file ($(SMOKE_BASELINE)); chaos-smoke race-runs
+# the fail/rejoin drain and the lookahead-fuzz violation diagnostic.
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
 # `go tool pprof`).
 
 GO ?= go
 GOFMT ?= gofmt
-BENCH_OUT ?= BENCH_PR7.json
-SMOKE_BASELINE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
+SMOKE_BASELINE ?= BENCH_PR7.json
 
-.PHONY: check fmt-check vet build test bench-smoke bench-json profile perf examples
+.PHONY: check fmt-check vet build test bench-smoke chaos-smoke bench-json profile perf examples
 
-check: fmt-check vet build test bench-smoke
+check: fmt-check vet build test chaos-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$($(GOFMT) -l .); \
@@ -59,9 +61,12 @@ bench-smoke:
 		st=$$?; rm -f bench_smoke.out; exit $$st
 	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
 
+chaos-smoke:
+	$(GO) test -race -run 'TestFailRejoinDrain|TestChaosLookaheadFuzzViolation' ./internal/workload
+
 bench-json:
 	@{ $(GO) test -run xxx -bench 'BenchmarkMeshFanout$$|BenchmarkMeshAllToAll$$|BenchmarkMeshHotspot$$|BenchmarkKVStore|BenchmarkMultiPhase|BenchmarkMultiTenantOverload' -benchmem -benchtime 10x . && \
-	   $(GO) test -run xxx -bench 'BenchmarkMesh(AllToAll|Fanout|Hotspot)(64|128)' -benchmem -benchtime 1x . && \
+	   $(GO) test -run xxx -bench 'BenchmarkMesh(AllToAll|Fanout|Hotspot)(64|128)|BenchmarkMeshChaos64' -benchmem -benchtime 1x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject|BenchmarkFramePack' -benchmem -benchtime 200000x . && \
 	   $(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem -benchtime 200000x ./internal/sim; } \
 	| $(GO) run ./cmd/benchjson -baseline bench/BASELINE_PR3.json -o $(BENCH_OUT)

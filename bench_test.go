@@ -310,6 +310,39 @@ func BenchmarkMeshHotspot64(b *testing.B) {
 	runMeshScale(b, workload.Hotspot, 64, 2, 8, runtime.NumCPU())
 }
 
+// BenchmarkMeshChaos64: the 64-node exchange under chaos fabric
+// perturbation (every put delayed 20-120ns from the deterministic
+// per-port RNG, order preserved) plus a mid-run node failure and
+// rejoin. Records what the robustness machinery costs on the parallel
+// engine; sim_lost rides the history so the loss ledger is visible in
+// the trajectory.
+func BenchmarkMeshChaos64(b *testing.B) {
+	b.ReportAllocs()
+	sc := workload.DefaultScenario(workload.AllToAll, 64)
+	sc.Rounds = 2
+	sc.Shards = 8
+	sc.Workers = runtime.NumCPU()
+	sc.Chaos = &workload.ChaosSpec{MinDelay: 20 * sim.Nanosecond, MaxDelay: 120 * sim.Nanosecond}
+	sc.Phases = []workload.Phase{
+		{Name: "steady"},
+		{Name: "failing", Fail: []workload.Fail{{Node: 5, At: sim.Microsecond}}},
+		{Name: "drain", Rejoin: []workload.Rejoin{{Node: 5}}},
+	}
+	var res *workload.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RatePerSec, "sim_inj_per_sec")
+	b.ReportMetric(float64(res.Injections), "msgs")
+	b.ReportMetric(float64(res.Lost), "sim_lost")
+	b.ReportMetric(res.SimTime.Microseconds(), "sim_us")
+	b.ReportMetric(float64(res.Workers), "workers")
+}
+
 // BenchmarkMeshAllToAll128: the 128-node, 16-shard exchange — the
 // largest recorded point. Skipped under -short (bench-smoke) to keep
 // the CI gate fast; bench-json records it.

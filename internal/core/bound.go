@@ -114,11 +114,16 @@ func (b *Bound) ensureLocal() error {
 	return nil
 }
 
-// checkUp fails sends addressed to a torn-down receiver.
+// checkUp fails sends on a severed channel fast with the typed error:
+// a torn-down receiver, a torn-down sender (a failed process issues
+// nothing), or a channel severed by FailNode (dead stays set across the
+// node's rejoin — the handle must re-resolve to the rebuilt channel).
 func (b *Bound) checkUp() error {
-	if b.ch.Dst.down {
-		return fmt.Errorf("core: %s->%s: destination node torn down",
-			b.ch.Src.Name, b.ch.Dst.Name)
+	switch {
+	case b.ch.Dst.down || b.ch.dead:
+		return &NodeDownError{Src: b.ch.Src.Name, Dst: b.ch.Dst.Name, Node: b.ch.Dst.Name}
+	case b.ch.Src.down:
+		return &NodeDownError{Src: b.ch.Src.Name, Dst: b.ch.Dst.Name, Node: b.ch.Src.Name}
 	}
 	return nil
 }

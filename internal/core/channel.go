@@ -40,7 +40,17 @@ type Channel struct {
 	// (see Bound). Keys are (pkg, elem) pairs, not built strings, so a
 	// cache hit performs no allocation.
 	bounds map[[2]string]*Bound
+
+	// dead marks a channel severed by Mesh.FailNode: unlike Dst.down it
+	// never clears — a rejoined node gets fresh channels (and fresh
+	// mailbox regions), so handle caches holding this one must re-resolve.
+	dead bool
 }
+
+// Dead reports whether the channel was severed by a node failure. A dead
+// channel stays dead across the node's rejoin; callers caching Bound
+// handles check it to know when to re-resolve through the mesh.
+func (ch *Channel) Dead() bool { return ch.dead }
 
 // preparedJam is a jam with its extern GOT entries bound to receiver VAs.
 type preparedJam struct {

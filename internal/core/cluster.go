@@ -44,6 +44,9 @@ type ClusterConfig struct {
 	// default — keeps windows strictly conservative; results are
 	// bit-identical either way.
 	Speculation sim.Duration
+	// Chaos configures the "chaos" failure-injection backend (and is
+	// ignored by every other backend); see fabric.ChaosConfig.
+	Chaos *fabric.ChaosConfig
 }
 
 // DefaultClusterConfig matches the paper's testbed.
@@ -73,7 +76,7 @@ type Cluster struct {
 // unsupported backends fall back to single-engine execution.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	eng := sim.NewEngine()
-	fab, err := fabric.New(cfg.Backend, eng, fabric.Config{Ordered: cfg.Ordered, Seed: cfg.Seed})
+	fab, err := fabric.New(cfg.Backend, eng, fabric.Config{Ordered: cfg.Ordered, Seed: cfg.Seed, Chaos: cfg.Chaos})
 	if err != nil {
 		panic("core: " + err.Error())
 	}

@@ -118,6 +118,32 @@ func (c *jamCache) prepare(src *Node, pkgName, elemName, dstName string, names m
 	return pj, nil
 }
 
+// invalidate drops every prepared image bound against the given
+// namespace fingerprint — the DBI-style translation-cache invalidation a
+// node failure forces on its peers. Entries are shared across channels
+// whose receivers expose identical namespaces, so peers of the failed
+// node that kept identical twins re-bind on next use (a lookup miss, not
+// a correctness hazard). Returns the number of entries dropped.
+func (c *jamCache) invalidate(nsFP uint64) int {
+	dropped := 0
+	for key := range c.entries {
+		if key.nsFP != nsFP {
+			continue
+		}
+		delete(c.entries, key)
+		dropped++
+		id := [2]uint8{key.pkgID, key.elemID}
+		g := c.gens[id]
+		for i := range g {
+			if g[i] == key {
+				c.gens[id] = append(g[:i], g[i+1:]...)
+				break
+			}
+		}
+	}
+	return dropped
+}
+
 // bindJam binds a jam element's extern GOT entries against a receiver
 // namespace snapshot, producing the shippable image.
 func bindJam(src *Node, inst *InstalledPackage, elem *Element, dstName string, names map[string]uint64) (*preparedJam, error) {

@@ -310,7 +310,11 @@ func (m *Mesh) ChannelView(src, dst int, view string, tweak func(mailbox.Receive
 	if m.nodes[dst].down {
 		// Refuse to arm a fresh mailbox region on a torn-down node: the
 		// teardown guarantee is that the node stops being polled.
-		return nil, fmt.Errorf("core: mesh channel %d->%d: destination node torn down", src, dst)
+		return nil, &NodeDownError{Src: m.nodes[src].Name, Dst: m.nodes[dst].Name, Node: m.nodes[dst].Name}
+	}
+	if m.nodes[src].down {
+		// A failed process issues nothing: no fresh channels either.
+		return nil, &NodeDownError{Src: m.nodes[src].Name, Dst: m.nodes[dst].Name, Node: m.nodes[src].Name}
 	}
 	rcfg := m.receiverConfig()
 	if tweak != nil {

@@ -101,6 +101,10 @@ type Config struct {
 	// Seed drives the backend's stochastic models (rkey generation,
 	// delivery jitter).
 	Seed uint64
+	// Chaos configures the "chaos" failure-injection wrapper backend and
+	// is ignored by every other backend. Selecting backend "chaos" with a
+	// nil Chaos config panics.
+	Chaos *ChaosConfig
 }
 
 // ShardedTransport is the optional backend capability behind the

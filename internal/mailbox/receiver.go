@@ -224,7 +224,10 @@ func (r *Receiver) Start() {
 }
 
 // Stop disarms the receive loop: frames already landed (or still in
-// flight) stay in the region but are no longer serviced. Part of node
+// flight) stay in the region but are no longer serviced, and a service
+// or completion event already scheduled when Stop runs is quashed when
+// it fires (see the started gates in service/complete) — after Stop, no
+// handler runs and no credit returns to the sender. Part of node
 // teardown; a stopped receiver can be re-armed with Start.
 func (r *Receiver) Stop() { r.started = false }
 
@@ -271,6 +274,13 @@ func (r *Receiver) granted() {
 // service parses, optionally patches, and executes the frame at va, then
 // advances to the next slot.
 func (r *Receiver) service(va uint64) {
+	if !r.started {
+		// Stopped (node teardown) after this service was scheduled: the
+		// frame stays in the region unserviced, so fail-time loss
+		// accounting (issued minus executed) sees it as lost, exactly.
+		r.busy = false
+		return
+	}
 	now := r.eng.Now()
 	serviceCost := model.FrameParseOverhead
 	// Header and signal reads go through the cache hierarchy: this is
@@ -337,6 +347,12 @@ func (r *Receiver) fail(d *Delivery, err error, serviceCost sim.Duration) {
 }
 
 func (r *Receiver) complete(d *Delivery, t sim.Time) {
+	if !r.started {
+		// Stopped mid-service: the execution already happened (the handler
+		// ran inside service), but no credit goes back to a sender from a
+		// torn-down node and the loop does not advance.
+		return
+	}
 	r.stats.Processed++
 	seq := r.nextSeq
 	bank, slot, _ := r.Cfg.Geometry.SlotFor(seq)

@@ -407,6 +407,30 @@ func (s *Sender) drain() {
 	s.drainBuf = pending[:0]
 }
 
+// FailPending fails every stalled (queued) send with err: each pooled
+// frame returns to the pool and each done callback fires synchronously
+// with the error. It is the teardown path for a channel whose receiver
+// will never return the credits that would drain the queue — without it
+// the queued messages (and any futures observing them) stay stranded
+// and the pooled frames leak. Returns the number of sends failed.
+func (s *Sender) FailPending(err error) int {
+	n := len(s.stalled)
+	if n == 0 {
+		return 0
+	}
+	pending := s.stalled
+	s.stalled = s.drainBuf[:0]
+	s.drainBuf = nil
+	for _, q := range pending {
+		s.finish(q.msg, q.done, SendInfo{Err: err})
+	}
+	for i := range pending {
+		pending[i] = queuedSend{}
+	}
+	s.drainBuf = pending[:0]
+	return n
+}
+
 // PackLocal is a convenience constructing a Local Function message.
 func PackLocal(pkgID, elemID uint8, args [2]uint64, usr []byte) *Message {
 	return &Message{Kind: KindLocal, PkgID: pkgID, ElemID: elemID, Args: args, Usr: usr}

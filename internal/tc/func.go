@@ -61,7 +61,10 @@ func (f *Func) Name() string { return f.pkg + "/" + f.elem }
 // mailbox region) on first use.
 func (f *Func) bound(dst int) (*core.Bound, error) {
 	if dst >= 0 && dst < len(f.bounds) {
-		if b := f.bounds[dst]; b != nil {
+		// A cached handle on a channel severed by FailNode is stale: the
+		// rejoined node gets fresh channels, so drop it and re-resolve
+		// through the mesh (which refuses while the node is still down).
+		if b := f.bounds[dst]; b != nil && !b.Channel().Dead() {
 			return b, nil
 		}
 	}
@@ -76,11 +79,13 @@ func (f *Func) bound(dst int) (*core.Bound, error) {
 
 // callCfg collects the call options.
 type callCfg struct {
-	local bool
-	usr   []byte
-	burst bool
-	batch [][2]uint64
-	ten   *tenant.Tenant
+	local    bool
+	usr      []byte
+	burst    bool
+	batch    [][2]uint64
+	ten      *tenant.Tenant
+	hasRetry bool
+	retry    RetryPolicy
 }
 
 // Call option kinds.
@@ -89,6 +94,7 @@ const (
 	optPayload
 	optBurst
 	optTenant
+	optRetry
 )
 
 // CallOpt adjusts one Call. Options are small immutable values, not
@@ -99,6 +105,7 @@ type CallOpt struct {
 	usr   []byte
 	batch [][2]uint64
 	ten   *tenant.Tenant
+	retry RetryPolicy
 }
 
 // Local selects Local Function invocation: only IDs and payload travel,
@@ -131,6 +138,24 @@ func WithTenant(t *tenant.Tenant) CallOpt {
 	return CallOpt{kind: optTenant, ten: t}
 }
 
+// WithRetry arms issuer-side resilience on the call: a retryable issue
+// failure — the destination torn down or severed by a node failure
+// (*core.NodeDownError), or a deferred tenant admission
+// (*tenant.AdmissionError with Deferred) — is re-attempted under the
+// policy, with deterministic sim-time backoff on the issuing node's
+// shard engine. A deferred admission's RetryAfter floors the backoff,
+// so the two retry sources compose. When the policy is exhausted the
+// future resolves with a *RetryError (wrapping the last attempt's
+// error), readable via Future.IssueErr.
+//
+// A retry that must rebuild a channel to a rejoined node performs lazy
+// channel creation, which under the parallel engine is legal only while
+// the group executes serially — the same discipline as any first Call
+// to a new destination.
+func WithRetry(p RetryPolicy) CallOpt {
+	return CallOpt{kind: optRetry, retry: p}
+}
+
 // apply folds the option into the collected configuration.
 func (o CallOpt) apply(c *callCfg) {
 	switch o.kind {
@@ -142,6 +167,8 @@ func (o CallOpt) apply(c *callCfg) {
 		c.burst, c.batch = true, o.batch
 	case optTenant:
 		c.ten = o.ten
+	case optRetry:
+		c.hasRetry, c.retry = true, o.retry
 	}
 }
 
@@ -168,43 +195,14 @@ func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 		fu.resolve()
 		return fu
 	}
-	var b *core.Bound
-	var err error
-	ten := cfg.ten
-	if ten == nil {
-		ten = f.ten
+	if cfg.ten == nil {
+		cfg.ten = f.ten
 	}
-	if ten != nil {
-		b, err = f.viewBound(ten, dst)
-	} else {
-		b, err = f.bound(dst)
-	}
-	if err != nil {
-		fu.fail(err)
+	if cfg.hasRetry {
+		f.issueRetry(fu, dst, args, cfg, 0, 0)
 		return fu
 	}
-	if ten != nil && ten.Admission != nil {
-		// Admission runs on the issuing node's shard against issuer-owned
-		// bucket state, clocked by the shard-local engine — deterministic
-		// for every worker count. The channel's credit-stall count is the
-		// congestion feedback.
-		if dec := ten.Admit(f.src, fu.eng.Now(), n, b.CreditStalls()); !dec.OK {
-			fu.fail(ten.Reject(dec))
-			return fu
-		}
-	}
-	fu.injected = !cfg.local
-	switch {
-	case cfg.local && cfg.burst:
-		err = b.CallLocalBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
-	case cfg.local:
-		err = b.CallLocalInfo(args, cfg.usr, fu.infoCb)
-	case cfg.burst:
-		err = b.InjectBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
-	default:
-		err = b.InjectInfo(args, cfg.usr, fu.infoCb)
-	}
-	if err != nil {
+	if err := f.issueOnce(fu, dst, args, &cfg); err != nil {
 		fu.fail(err)
 		return fu
 	}
@@ -212,6 +210,82 @@ func (f *Func) Call(dst int, args [2]uint64, opts ...CallOpt) *Future {
 	// engine — the point where an unobserved future can recycle safely.
 	fu.armed = true
 	return fu
+}
+
+// issueOnce performs one issue attempt: resolve the per-destination
+// handle, pass admission, dispatch. nil means the call is in flight and
+// the future will resolve inside the engine.
+func (f *Func) issueOnce(fu *Future, dst int, args [2]uint64, cfg *callCfg) error {
+	var b *core.Bound
+	var err error
+	if cfg.ten != nil {
+		b, err = f.viewBound(cfg.ten, dst)
+	} else {
+		b, err = f.bound(dst)
+	}
+	if err != nil {
+		return err
+	}
+	if ten := cfg.ten; ten != nil && ten.Admission != nil {
+		// Admission runs on the issuing node's shard against issuer-owned
+		// bucket state, clocked by the shard-local engine — deterministic
+		// for every worker count. The channel's credit-stall count is the
+		// congestion feedback.
+		if dec := ten.Admit(f.src, fu.eng.Now(), fu.expect, b.CreditStalls()); !dec.OK {
+			return ten.Reject(dec)
+		}
+	}
+	fu.injected = !cfg.local
+	switch {
+	case cfg.local && cfg.burst:
+		return b.CallLocalBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
+	case cfg.local:
+		return b.CallLocalInfo(args, cfg.usr, fu.infoCb)
+	case cfg.burst:
+		return b.InjectBurstInfo(cfg.batch, cfg.usr, fu.infoCb)
+	default:
+		return b.InjectInfo(args, cfg.usr, fu.infoCb)
+	}
+}
+
+// issueRetry drives the WithRetry attempt loop: each retryable failure
+// schedules the next attempt after the policy's backoff (floored by a
+// deferred admission's RetryAfter) on the issuing shard's engine, so
+// retried calls replay deterministically at every worker count.
+// Exhaustion — attempts spent, or the timeout overrun — resolves the
+// future with a *RetryError surfaced via Future.IssueErr.
+func (f *Func) issueRetry(fu *Future, dst int, args [2]uint64, cfg callCfg, attempt int, elapsed sim.Duration) {
+	err := f.issueOnce(fu, dst, args, &cfg)
+	if err == nil {
+		fu.armed = true
+		return
+	}
+	retry, after := retryable(err)
+	attempts := cfg.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	if !retry || attempt+1 >= attempts {
+		if attempt > 0 || retry {
+			err = &RetryError{Attempts: attempt + 1, Elapsed: elapsed, Last: err}
+		}
+		fu.fail(err)
+		return
+	}
+	delay := cfg.retry.delay(attempt)
+	if after > delay {
+		delay = after
+	}
+	if cfg.retry.Timeout > 0 && elapsed+delay > cfg.retry.Timeout {
+		fu.fail(&RetryError{Attempts: attempt + 1, Elapsed: elapsed, Last: err})
+		return
+	}
+	// Resolution now happens inside the engine: mark the future armed so
+	// an unobserved fire-and-forget call still recycles when it resolves.
+	fu.armed = true
+	fu.eng.After(delay, func() {
+		f.issueRetry(fu, dst, args, cfg, attempt+1, elapsed+delay)
+	})
 }
 
 // WireLen reports the frame size an injected Call to dst with a payload

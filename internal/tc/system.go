@@ -5,6 +5,7 @@ import (
 
 	"twochains/internal/core"
 	"twochains/internal/cpusim"
+	"twochains/internal/fabric"
 	"twochains/internal/linker"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
@@ -120,6 +121,17 @@ func WithChannelOptions(co core.ChannelOptions) SystemOpt {
 	return func(c *core.MeshConfig) { c.Channel = co }
 }
 
+// WithChaos wraps the deployment's fabric backend in the "chaos"
+// failure-injection transport: per-put latency perturbation within the
+// declared bounds, drawn from the deployment's deterministic RNG, plus
+// the optional lookahead misadvertisement stressors (see
+// fabric.ChaosConfig). The wrapped backend is whatever WithBackend
+// selected (resolved when the system is built, so option order does not
+// matter), unless cc.Inner names one explicitly.
+func WithChaos(cc fabric.ChaosConfig) SystemOpt {
+	return func(c *core.MeshConfig) { c.Cluster.Chaos = &cc }
+}
+
 // WithConfig is the catch-all escape hatch for fields without a
 // dedicated option.
 func WithConfig(fn func(*core.MeshConfig)) SystemOpt {
@@ -132,6 +144,13 @@ func NewSystem(n int, opts ...SystemOpt) (*System, error) {
 	cfg := core.DefaultMeshConfig(n)
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.Cluster.Chaos != nil && cfg.Cluster.Backend != "chaos" {
+		// WithChaos wraps whatever backend the other options selected.
+		if cfg.Cluster.Chaos.Inner == "" {
+			cfg.Cluster.Chaos.Inner = cfg.Cluster.Backend
+		}
+		cfg.Cluster.Backend = "chaos"
 	}
 	m, err := core.NewMesh(cfg)
 	if err != nil {
@@ -256,6 +275,20 @@ func (s *System) Teardown(i int) error {
 	return nil
 }
 
+// FailNode injects a hard node failure: Teardown plus channel severing,
+// fast-fail of every queued send with a typed *core.NodeDownError, and
+// peer-side cache invalidation (see core.Mesh.FailNode). It returns the
+// number of queued outbound sends the failure destroyed. Under the
+// parallel engine it is a zero-lookahead global action: call it only
+// while the group executes serially (workload drivers bracket it in a
+// serial hold).
+func (s *System) FailNode(i int) (int, error) { return s.mesh.FailNode(i) }
+
+// RejoinNode brings a failed node back. Severed channels stay dead;
+// peers rebuild them lazily on their next Call under the usual lazy
+// channel-creation discipline.
+func (s *System) RejoinNode(i int) error { return s.mesh.RejoinNode(i) }
+
 // Channel returns the src->dst channel, creating it (and its mailbox
 // region on dst) on first use — the lower-level surface for delivery-only
 // frames and custom hooks.
@@ -273,7 +306,8 @@ func (s *System) SendData(src, dst int, usr []byte) *Future {
 		return fu
 	}
 	if s.mesh.Node(dst).Down() {
-		fu.fail(fmt.Errorf("tc: %d->%d: destination node torn down", src, dst))
+		fu.fail(&core.NodeDownError{Src: s.mesh.Node(src).Name, Dst: s.mesh.Node(dst).Name,
+			Node: s.mesh.Node(dst).Name})
 		return fu
 	}
 	ch.SendData(usr, fu.completeCb)

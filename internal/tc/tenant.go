@@ -122,11 +122,13 @@ func (f *Func) viewBound(t *tenant.Tenant, dst int) (*core.Bound, error) {
 	}
 	own := t == f.ten
 	key := t.ID*len(f.bounds) + dst
+	// Handles on channels severed by FailNode are stale (see Func.bound):
+	// drop and re-resolve through the mesh.
 	if own {
-		if b := f.bounds[dst]; b != nil {
+		if b := f.bounds[dst]; b != nil && !b.Channel().Dead() {
 			return b, nil
 		}
-	} else if b := f.tbounds[key]; b != nil {
+	} else if b := f.tbounds[key]; b != nil && !b.Channel().Dead() {
 		return b, nil
 	}
 	ch, err := f.sys.viewChannel(f.src, dst, t)

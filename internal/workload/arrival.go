@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"twochains/internal/sim"
+)
+
+// arrivalSpec describes one registered arrival process. Validate checks
+// the Arrival parameters during scenario resolution (at builds the
+// blame-path for ScenarioError fields); Gen draws the n cumulative
+// arrival offsets for one sender, in issue order, from the scenario
+// RNG. A nil Gen marks a self-clocked (closed-loop) process: bursts
+// chain on completion instead of firing at precomputed instants.
+type arrivalSpec struct {
+	name     string
+	validate func(a *Arrival, at func(string) string) error
+	gen      func(a *Arrival, rng *sim.RNG, n int) []sim.Duration
+}
+
+var arrivalKinds = map[ArrivalKind]*arrivalSpec{}
+
+// RegisterArrival registers an arrival process under kind. Scenario
+// validation enumerates registered kinds instead of hardcoding a
+// switch, so third-party processes validate and generate through the
+// same path as the built-ins. Registration happens at init time;
+// re-registering a kind panics.
+func RegisterArrival(kind ArrivalKind, name string, validate func(a *Arrival, at func(string) string) error, gen func(a *Arrival, rng *sim.RNG, n int) []sim.Duration) {
+	if name == "" {
+		panic("workload: RegisterArrival: empty name")
+	}
+	if _, dup := arrivalKinds[kind]; dup {
+		panic(fmt.Sprintf("workload: RegisterArrival: kind %d already registered", kind))
+	}
+	arrivalKinds[kind] = &arrivalSpec{name: name, validate: validate, gen: gen}
+}
+
+// ArrivalKindNames lists the registered arrival kinds as "name(kind)"
+// strings in kind order, for error messages.
+func ArrivalKindNames() []string {
+	kinds := make([]int, 0, len(arrivalKinds))
+	for k := range arrivalKinds {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = fmt.Sprintf("%s(%d)", arrivalKinds[ArrivalKind(k)].name, k)
+	}
+	return names
+}
+
+// openLoop reports whether the arrival kind fires bursts at precomputed
+// instants (a registered generator) rather than chaining on completion.
+func (a Arrival) openLoop() bool {
+	s := arrivalKinds[a.Kind]
+	return s != nil && s.gen != nil
+}
+
+func init() {
+	RegisterArrival(ClosedLoop, "closed-loop", nil, nil)
+
+	RegisterArrival(Poisson, "poisson",
+		func(a *Arrival, at func(string) string) error {
+			if a.RatePerSec <= 0 {
+				return &ScenarioError{Field: at("Arrival.RatePerSec"),
+					Reason: fmt.Sprintf("open-loop Poisson arrivals need a positive rate, have %v", a.RatePerSec)}
+			}
+			return nil
+		},
+		func(a *Arrival, rng *sim.RNG, n int) []sim.Duration {
+			mean := float64(sim.Second) / a.RatePerSec
+			out := make([]sim.Duration, n)
+			var at float64
+			for i := range out {
+				at += rng.Exp(mean)
+				out[i] = sim.Duration(at)
+			}
+			return out
+		})
+
+	RegisterArrival(MMPP, "mmpp",
+		func(a *Arrival, at func(string) string) error {
+			if a.RatePerSec <= 0 {
+				return &ScenarioError{Field: at("Arrival.RatePerSec"),
+					Reason: fmt.Sprintf("MMPP base state needs a positive rate, have %v", a.RatePerSec)}
+			}
+			if a.BurstRatePerSec <= 0 {
+				return &ScenarioError{Field: at("Arrival.BurstRatePerSec"),
+					Reason: fmt.Sprintf("MMPP burst state needs a positive rate, have %v", a.BurstRatePerSec)}
+			}
+			if a.MeanBase <= 0 {
+				return &ScenarioError{Field: at("Arrival.MeanBase"),
+					Reason: fmt.Sprintf("MMPP base-state sojourn must be positive, have %v", a.MeanBase)}
+			}
+			if a.MeanBurst <= 0 {
+				return &ScenarioError{Field: at("Arrival.MeanBurst"),
+					Reason: fmt.Sprintf("MMPP burst-state sojourn must be positive, have %v", a.MeanBurst)}
+			}
+			return nil
+		},
+		func(a *Arrival, rng *sim.RNG, n int) []sim.Duration {
+			// Two-state Markov-modulated Poisson process: arrivals are
+			// Poisson at the current state's rate; the state flips after an
+			// exponentially distributed sojourn. Gaps that straddle a state
+			// change are re-drawn at the new rate (memorylessness makes the
+			// re-draw exact), consuming RNG draws in a fixed order so equal
+			// seeds replay the same burst structure at every worker count.
+			rate := [2]float64{a.RatePerSec, a.BurstRatePerSec}
+			soj := [2]float64{float64(a.MeanBase), float64(a.MeanBurst)}
+			out := make([]sim.Duration, n)
+			state := 0
+			rem := rng.Exp(soj[state])
+			var at float64
+			for i := 0; i < n; {
+				gap := rng.Exp(float64(sim.Second) / rate[state])
+				if gap <= rem {
+					rem -= gap
+					at += gap
+					out[i] = sim.Duration(at)
+					i++
+					continue
+				}
+				at += rem
+				state = 1 - state
+				rem = rng.Exp(soj[state])
+			}
+			return out
+		})
+
+	RegisterArrival(Trace, "trace",
+		func(a *Arrival, at func(string) string) error {
+			if len(a.Trace) == 0 {
+				return &ScenarioError{Field: at("Arrival.Trace"),
+					Reason: "trace replay needs at least one recorded inter-arrival gap"}
+			}
+			for i, gap := range a.Trace {
+				if gap < 0 {
+					return &ScenarioError{Field: at(fmt.Sprintf("Arrival.Trace[%d]", i)),
+						Reason: fmt.Sprintf("recorded inter-arrival gaps cannot be negative, have %v", gap)}
+				}
+			}
+			return nil
+		},
+		func(a *Arrival, rng *sim.RNG, n int) []sim.Duration {
+			// Recorded-trace replay: the scenario carries measured
+			// inter-arrival gaps and each sender replays them cyclically.
+			// No RNG is consumed — the trace is the randomness.
+			out := make([]sim.Duration, n)
+			var at sim.Duration
+			for i := range out {
+				at += a.Trace[i%len(a.Trace)]
+				out[i] = at
+			}
+			return out
+		})
+}

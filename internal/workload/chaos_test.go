@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"twochains/internal/sim"
+)
+
+// chaosScenario is the failure-injection composition the determinism
+// sweep runs: perturbed fabric, an MMPP bursty phase, then a node
+// failure mid-phase and its rejoin in a drain phase.
+func chaosScenario(seed uint64, workers int) Scenario {
+	sc := DefaultScenario(AllToAll, 9)
+	sc.Burst = 4
+	sc.Rounds = 2
+	sc.Shards = 4
+	sc.Seed = seed
+	sc.Workers = workers
+	sc.Chaos = &ChaosSpec{MinDelay: 20 * sim.Nanosecond, MaxDelay: 120 * sim.Nanosecond}
+	sc.Phases = []Phase{
+		{Name: "bursty", Arrival: &Arrival{Kind: MMPP, RatePerSec: 2e6,
+			BurstRatePerSec: 2e7, MeanBase: 4 * sim.Microsecond, MeanBurst: sim.Microsecond}},
+		{Name: "failing", Fail: []Fail{{Node: 2, At: sim.Microsecond}}},
+		{Name: "drain", Rejoin: []Rejoin{{Node: 2}}},
+	}
+	return sc
+}
+
+// TestChaosDeterminismSweep is the acceptance property of the chaos
+// suite: with fabric perturbation, MMPP arrivals, and a mid-run node
+// failure plus rejoin, equal seeds produce bit-identical digests,
+// simulated times, injection counts, and loss ledgers at every worker
+// count, with and without speculative windows.
+func TestChaosDeterminismSweep(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, seed := range []uint64{0x7c2c2021, 0x51edba5e} {
+		base, err := Run(chaosScenario(seed, 1))
+		if err != nil {
+			t.Fatalf("seed %#x sequential: %v", seed, err)
+		}
+		if base.Lost == 0 {
+			t.Fatalf("seed %#x: failure injected but nothing was lost", seed)
+		}
+		for _, w := range workerSweep()[1:] {
+			for _, spec := range []sim.Duration{0, specBudget} {
+				runtime.GOMAXPROCS(w)
+				sc := chaosScenario(seed, w)
+				sc.Speculation = spec
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatalf("seed %#x workers %d spec %d: %v", seed, w, spec, err)
+				}
+				if res.Digest != base.Digest || res.SimTime != base.SimTime ||
+					res.Injections != base.Injections || res.Lost != base.Lost {
+					t.Errorf("seed %#x workers %d spec %d: %#x/%d/%d/%d lost, want %#x/%d/%d/%d lost",
+						seed, w, spec, res.Digest, int64(res.SimTime), res.Injections, res.Lost,
+						base.Digest, int64(base.SimTime), base.Injections, base.Lost)
+				}
+			}
+		}
+	}
+}
+
+// TestFailRejoinDrain pins the loss ledger of a fail/rejoin run: the
+// run drains to quiescence (Run's internal accounting already enforces
+// executed + errors + lost == planned), the dead node's inbound backlog
+// and abandoned plan are lost rather than hung, the drain phase reaches
+// the rejoined node again, and a repeat run reproduces the ledger bit
+// for bit.
+func TestFailRejoinDrain(t *testing.T) {
+	sc := DefaultScenario(AllToAll, 6)
+	sc.Burst = 4
+	sc.Rounds = 2
+	sc.Seed = 0x7c2c2021
+	sc.Phases = []Phase{
+		{Name: "steady"},
+		{Name: "failing", Fail: []Fail{{Node: 1, At: 500 * sim.Nanosecond}}},
+		{Name: "drain", Rejoin: []Rejoin{{Node: 1}}},
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lost == 0 {
+		t.Fatal("mid-phase failure lost nothing: the fail did not bite")
+	}
+	planned := 0
+	for _, ph := range a.Phases {
+		planned += ph.Planned
+	}
+	var errSum int
+	for _, nr := range a.PerNode {
+		errSum += nr.Errors
+	}
+	if a.Injections+errSum+a.Lost != planned {
+		t.Fatalf("ledger off: %d executed + %d errors + %d lost != %d planned",
+			a.Injections, errSum, a.Lost, planned)
+	}
+	// The drain phase must actually reach the rejoined node: its executed
+	// count ends above what the fail froze it at.
+	if a.PerNode[1].Executed == 0 {
+		t.Fatal("rejoined node executed nothing")
+	}
+	if a.Phases[2].End <= a.Phases[1].End {
+		t.Fatal("drain phase did not advance simulated time")
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.SimTime != b.SimTime || a.Lost != b.Lost {
+		t.Fatalf("repeat run diverged: %#x/%d/%d vs %#x/%d/%d",
+			a.Digest, int64(a.SimTime), a.Lost, b.Digest, int64(b.SimTime), b.Lost)
+	}
+}
+
+// TestChaosLookaheadFuzzViolation is the adversarial leg: a chaos
+// config that misadvertises the backend's lookahead (boosting it past
+// the truth) must be caught by the parallel engine as a loud, specific
+// diagnostic — speculation rollback plus panic — never absorbed as
+// silent digest corruption.
+func TestChaosLookaheadFuzzViolation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead-fuzz run did not trip the violation diagnostic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "lookahead contract violated") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	sc := DefaultScenario(Hotspot, 9)
+	sc.Burst = 4
+	sc.Rounds = 4
+	sc.Shards = 4
+	sc.Workers = 4
+	sc.Speculation = specBudget
+	sc.Seed = 0x7c2c2021
+	// No delay perturbation — pure contract fuzz: the advertised
+	// lookahead is a microsecond larger than the backend's true bound, so
+	// real arrivals land inside ranges the engine believed safe to
+	// speculate through.
+	sc.Chaos = &ChaosSpec{LookaheadBoost: sim.Microsecond}
+	res, err := Run(sc)
+	t.Fatalf("misadvertised lookahead was silently absorbed: res=%+v err=%v", res, err)
+}
+
+// TestArrivalTraceReplay pins the recorded-trace generator: replayed
+// gaps are deterministic (no RNG consumed), cyclic, and drain to exact
+// completion.
+func TestArrivalTraceReplay(t *testing.T) {
+	sc := DefaultScenario(AllToAll, 4)
+	sc.Burst = 2
+	sc.Rounds = 2
+	sc.Arrival = Arrival{Kind: Trace, Trace: []sim.Duration{
+		100 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond}}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planned int
+	for _, ph := range a.Phases {
+		planned += ph.Planned
+	}
+	if a.Injections != planned {
+		t.Fatalf("trace replay executed %d of %d planned", a.Injections, planned)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.SimTime != b.SimTime {
+		t.Fatalf("trace replay diverged across runs: %#x/%d vs %#x/%d",
+			a.Digest, int64(a.SimTime), b.Digest, int64(b.SimTime))
+	}
+}
+
+// TestArrivalValidation pins the registry-driven arrival validation and
+// the failure-plan static checks: every rejection is a typed
+// *ScenarioError naming the offending field.
+func TestArrivalValidation(t *testing.T) {
+	base := func() Scenario {
+		sc := DefaultScenario(AllToAll, 4)
+		sc.Timing = false
+		return sc
+	}
+	cases := []struct {
+		name  string
+		mut   func(*Scenario)
+		field string
+	}{
+		{"unknown kind", func(sc *Scenario) { sc.Arrival = Arrival{Kind: 99} }, "Arrival.Kind"},
+		{"poisson no rate", func(sc *Scenario) { sc.Arrival = Arrival{Kind: Poisson} }, "Arrival.RatePerSec"},
+		{"mmpp no burst rate", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: MMPP, RatePerSec: 1e6, MeanBase: 1, MeanBurst: 1}
+		}, "Arrival.BurstRatePerSec"},
+		{"mmpp no sojourn", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: MMPP, RatePerSec: 1e6, BurstRatePerSec: 1e7, MeanBurst: 1}
+		}, "Arrival.MeanBase"},
+		{"empty trace", func(sc *Scenario) { sc.Arrival = Arrival{Kind: Trace} }, "Arrival.Trace"},
+		{"negative trace gap", func(sc *Scenario) {
+			sc.Arrival = Arrival{Kind: Trace, Trace: []sim.Duration{10, -1}}
+		}, "Arrival.Trace[1]"},
+		{"phase arrival blame", func(sc *Scenario) {
+			sc.Phases = []Phase{{}, {Arrival: &Arrival{Kind: 77}}}
+		}, "Phases[1].Arrival.Kind"},
+		{"fail out of range", func(sc *Scenario) {
+			sc.Phases = []Phase{{Fail: []Fail{{Node: 9}}}}
+		}, "Phases[0].Fail[0].Node"},
+		{"negative fail offset", func(sc *Scenario) {
+			sc.Phases = []Phase{{Fail: []Fail{{Node: 1, At: -1}}}}
+		}, "Phases[0].Fail[0].At"},
+		{"double fail", func(sc *Scenario) {
+			sc.Phases = []Phase{{Fail: []Fail{{Node: 1}}}, {Fail: []Fail{{Node: 1}}}}
+		}, "Phases[1].Fail[0].Node"},
+		{"rejoin live node", func(sc *Scenario) {
+			sc.Phases = []Phase{{Rejoin: []Rejoin{{Node: 1}}}}
+		}, "Phases[0].Rejoin[0].Node"},
+		{"chaos bounds", func(sc *Scenario) {
+			sc.Chaos = &ChaosSpec{MinDelay: 10, MaxDelay: 5}
+		}, "Chaos.MinDelay"},
+		{"chaos scale", func(sc *Scenario) {
+			sc.Chaos = &ChaosSpec{LookaheadScale: 1.5}
+		}, "Chaos.LookaheadScale"},
+		{"bare chaos backend", func(sc *Scenario) { sc.Backend = "chaos" }, "Backend"},
+		{"tenant fail", func(sc *Scenario) {
+			sc.Phases = []Phase{{Fail: []Fail{{Node: 1}}}}
+			sc.Tenants = []TenantSpec{{Name: "gold", Weight: 1}}
+		}, "Fail"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc := base()
+			c.mut(&sc)
+			err := sc.Validate()
+			var se *ScenarioError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v, want *ScenarioError", err)
+			}
+			if !strings.Contains(se.Field, c.field) {
+				t.Fatalf("blamed field %q, want one containing %q (reason: %s)", se.Field, c.field, se.Reason)
+			}
+			// Run must reject identically.
+			if _, rerr := Run(sc); rerr == nil || rerr.Error() != err.Error() {
+				t.Fatalf("Run rejection %v != Validate rejection %v", rerr, err)
+			}
+		})
+	}
+	// A legal fail -> rejoin -> fail-again sequence passes.
+	sc := base()
+	sc.Phases = []Phase{
+		{Fail: []Fail{{Node: 1, At: 100}}},
+		{Rejoin: []Rejoin{{Node: 1}}, Fail: []Fail{{Node: 1, At: 100}}},
+		{Rejoin: []Rejoin{{Node: 1}}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("legal fail/rejoin cycle rejected: %v", err)
+	}
+}

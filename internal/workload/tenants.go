@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"twochains/internal/core"
+	"twochains/internal/fabric"
 	"twochains/internal/mailbox"
 	"twochains/internal/sim"
 	"twochains/internal/tc"
@@ -137,8 +138,16 @@ func (sc *Scenario) resolveTenants(base []phaseSpec) ([]laneSpec, error) {
 				return nil, &ScenarioError{Field: specs[j].at("Swap"),
 					Reason: "RIED swaps are not supported in tenant phases"}
 			}
-			if specs[j].arrival.Kind == Poisson {
+			if len(specs[j].fail) > 0 || len(specs[j].rejoin) > 0 {
+				return nil, &ScenarioError{Field: specs[j].at("Fail"),
+					Reason: "node fail/rejoin is not supported in multi-tenant mode"}
+			}
+			switch specs[j].arrival.Kind {
+			case Poisson:
 				specs[j].arrival.RatePerSec *= load
+			case MMPP:
+				specs[j].arrival.RatePerSec *= load
+				specs[j].arrival.BurstRatePerSec *= load
 			}
 		}
 		lanes[i] = laneSpec{load: load, specs: specs, cfg: tenant.Config{
@@ -288,7 +297,7 @@ func (r *runner) openLanePhase(l *lane) {
 		if len(pp.bursts[src]) == 0 {
 			continue
 		}
-		if pp.spec.arrival.Kind == Poisson {
+		if pp.spec.arrival.openLoop() {
 			r.armOpenLane(l, src, pp.bursts[src])
 		} else {
 			r.armClosedLane(l, src, pp.bursts[src])
@@ -446,6 +455,14 @@ func runTenants(sc *Scenario, base []phaseSpec) (*Result, error) {
 	}
 	if sc.Shards > 0 {
 		opts = append(opts, tc.WithShards(sc.Shards))
+	}
+	if sc.Chaos != nil {
+		opts = append(opts, tc.WithChaos(fabric.ChaosConfig{
+			MinDelay:       sc.Chaos.MinDelay,
+			MaxDelay:       sc.Chaos.MaxDelay,
+			LookaheadScale: sc.Chaos.LookaheadScale,
+			LookaheadBoost: sc.Chaos.LookaheadBoost,
+		}))
 	}
 	sys, err := tc.NewSystem(sc.Nodes, opts...)
 	if err != nil {

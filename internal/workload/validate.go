@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"twochains/internal/core"
+	"twochains/internal/fabric"
 	"twochains/internal/mailbox"
 	"twochains/internal/tcapp"
 )
@@ -79,6 +80,28 @@ func (sc *Scenario) validateScalars() error {
 	if sc.HotSkew < 0 || sc.HotSkew > 1 {
 		return &ScenarioError{Field: "HotSkew", Reason: fmt.Sprintf("skew %v outside [0, 1]", sc.HotSkew)}
 	}
+	if sc.Backend == "chaos" && sc.Chaos == nil {
+		return &ScenarioError{Field: "Backend",
+			Reason: `the "chaos" backend is configured through Scenario.Chaos (it wraps another backend)`}
+	}
+	if c := sc.Chaos; c != nil {
+		if c.MinDelay < 0 || c.MaxDelay < c.MinDelay {
+			return &ScenarioError{Field: "Chaos.MinDelay",
+				Reason: fmt.Sprintf("need 0 <= MinDelay <= MaxDelay, have [%v, %v]", c.MinDelay, c.MaxDelay)}
+		}
+		if c.MaxDelay > fabric.MaxChaosDelay {
+			return &ScenarioError{Field: "Chaos.MaxDelay",
+				Reason: fmt.Sprintf("%v exceeds the %v perturbation bound (delays past one base put latency would reorder staged payloads)", c.MaxDelay, fabric.MaxChaosDelay)}
+		}
+		if c.LookaheadScale < 0 || c.LookaheadScale > 1 {
+			return &ScenarioError{Field: "Chaos.LookaheadScale",
+				Reason: fmt.Sprintf("scale %v outside [0, 1]", c.LookaheadScale)}
+		}
+		if c.LookaheadBoost < 0 {
+			return &ScenarioError{Field: "Chaos.LookaheadBoost",
+				Reason: fmt.Sprintf("negative boost %v", c.LookaheadBoost)}
+		}
+	}
 	return nil
 }
 
@@ -92,6 +115,8 @@ type phaseSpec struct {
 	wsum       int
 	arrival    Arrival
 	swap       *Swap
+	fail       []Fail
+	rejoin     []Rejoin
 	arg1Random bool
 	// fieldPrefix locates this phase in ScenarioError fields: "" for the
 	// implicit phase of a phaseless scenario, "Phases[i]." otherwise.
@@ -110,6 +135,10 @@ func (sc *Scenario) resolvePhases() ([]phaseSpec, error) {
 		phases = []Phase{{}}
 	}
 	specs := make([]phaseSpec, len(phases))
+	// downSet tracks which nodes are failed at each phase boundary, so
+	// Fail/Rejoin sequencing errors (rejoining a live node, re-failing a
+	// dead one) are static scenario errors, not runtime surprises.
+	downSet := map[int]bool{}
 	for i, ph := range phases {
 		spec := phaseSpec{
 			name:       ph.Name,
@@ -119,6 +148,8 @@ func (sc *Scenario) resolvePhases() ([]phaseSpec, error) {
 			mix:        ph.Mix,
 			arg1Random: ph.Arg1Random,
 			swap:       ph.Swap,
+			fail:       ph.Fail,
+			rejoin:     ph.Rejoin,
 		}
 		if len(sc.Phases) > 0 {
 			spec.fieldPrefix = fmt.Sprintf("Phases[%d].", i)
@@ -199,16 +230,43 @@ func (sc *Scenario) resolvePhases() ([]phaseSpec, error) {
 		} else {
 			spec.arrival = sc.Arrival
 		}
-		switch spec.arrival.Kind {
-		case ClosedLoop:
-		case Poisson:
-			if !(spec.arrival.RatePerSec > 0) {
-				return nil, &ScenarioError{Field: at("Arrival.RatePerSec"),
-					Reason: fmt.Sprintf("open-loop Poisson arrivals need a positive rate, have %v", spec.arrival.RatePerSec)}
-			}
-		default:
+		ak, ok := arrivalKinds[spec.arrival.Kind]
+		if !ok {
 			return nil, &ScenarioError{Field: at("Arrival.Kind"),
-				Reason: fmt.Sprintf("unknown arrival kind %d", spec.arrival.Kind)}
+				Reason: fmt.Sprintf("unknown arrival kind %d (registered: %v)", spec.arrival.Kind, ArrivalKindNames())}
+		}
+		if ak.validate != nil {
+			if err := ak.validate(&spec.arrival, at); err != nil {
+				return nil, err
+			}
+		}
+		// Rejoins happen at phase open, fails At later in the phase: a
+		// phase may legally rejoin a node and fail it again.
+		for j, rj := range spec.rejoin {
+			if rj.Node < 0 || rj.Node >= sc.Nodes {
+				return nil, &ScenarioError{Field: at(fmt.Sprintf("Rejoin[%d].Node", j)),
+					Reason: fmt.Sprintf("node %d out of range (%d nodes)", rj.Node, sc.Nodes)}
+			}
+			if !downSet[rj.Node] {
+				return nil, &ScenarioError{Field: at(fmt.Sprintf("Rejoin[%d].Node", j)),
+					Reason: fmt.Sprintf("node %d is not failed at this phase", rj.Node)}
+			}
+			delete(downSet, rj.Node)
+		}
+		for j, fl := range spec.fail {
+			if fl.Node < 0 || fl.Node >= sc.Nodes {
+				return nil, &ScenarioError{Field: at(fmt.Sprintf("Fail[%d].Node", j)),
+					Reason: fmt.Sprintf("node %d out of range (%d nodes)", fl.Node, sc.Nodes)}
+			}
+			if fl.At < 0 {
+				return nil, &ScenarioError{Field: at(fmt.Sprintf("Fail[%d].At", j)),
+					Reason: fmt.Sprintf("negative failure offset %v", fl.At)}
+			}
+			if downSet[fl.Node] {
+				return nil, &ScenarioError{Field: at(fmt.Sprintf("Fail[%d].Node", j)),
+					Reason: fmt.Sprintf("node %d is already failed", fl.Node)}
+			}
+			downSet[fl.Node] = true
 		}
 		if spec.swap != nil {
 			if spec.swap.Node < 0 || spec.swap.Node >= sc.Nodes {

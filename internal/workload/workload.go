@@ -45,12 +45,14 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"twochains/internal/core"
+	"twochains/internal/fabric"
 	"twochains/internal/sim"
 	"twochains/internal/tc"
 	"twochains/internal/tcapp"
@@ -97,14 +99,31 @@ const (
 	// gaps (drawn deterministically at plan time), independent of
 	// completions — open-loop offered load.
 	Poisson
+	// MMPP issues bursts from a two-state Markov-modulated Poisson
+	// process: a base state at RatePerSec and a burst state at
+	// BurstRatePerSec, with exponential sojourns of mean MeanBase /
+	// MeanBurst — open-loop bursty offered load.
+	MMPP
+	// Trace replays recorded inter-arrival gaps (Arrival.Trace)
+	// cyclically per sender — open-loop measured load, no randomness.
+	Trace
 )
 
-// Arrival is a phase's arrival process.
+// Arrival is a phase's arrival process. Kinds beyond the built-ins can
+// be added with RegisterArrival; validation enumerates the registry.
 type Arrival struct {
 	Kind ArrivalKind
-	// RatePerSec is the mean burst arrival rate per sender (Poisson
-	// only), in simulated seconds.
+	// RatePerSec is the mean burst arrival rate per sender in simulated
+	// seconds (Poisson; the MMPP base state).
 	RatePerSec float64
+	// BurstRatePerSec is the MMPP burst state's arrival rate.
+	BurstRatePerSec float64
+	// MeanBase/MeanBurst are the MMPP mean state sojourns.
+	MeanBase  sim.Duration
+	MeanBurst sim.Duration
+	// Trace holds recorded inter-arrival gaps for Kind Trace, replayed
+	// cyclically by every sender.
+	Trace []sim.Duration
 }
 
 // Swap is a remote-linking dynamic update expressed as data: when the
@@ -119,6 +138,27 @@ type Swap struct {
 	App string
 }
 
+// Fail schedules a hard node failure as phase data: At after the
+// owning phase opens, Node is torn down — its channels are severed,
+// queued sends into and out of it fail fast with *core.NodeDownError,
+// sender-side prepared-jam caches for it are invalidated, and every
+// message addressed to it that had been issued but not yet executed is
+// accounted as lost (Result.Lost). The node's own unissued plan is
+// abandoned and counted lost too.
+type Fail struct {
+	Node int
+	At   sim.Duration
+}
+
+// Rejoin brings a previously failed node back when the owning phase
+// opens. The node returns with empty channel state: channels into and
+// out of it rebuild lazily on the next call, re-running the namespace
+// exchange, under the same serial-hold discipline as initial lazy
+// channel creation.
+type Rejoin struct {
+	Node int
+}
+
 // Phase is one stage of a scenario. Zero fields inherit the scenario-
 // level value (Traffic from Pattern, Rounds/Burst/Mix/Arrival from the
 // scenario); a phase opens when the previous phase's plan has fully
@@ -131,10 +171,31 @@ type Phase struct {
 	Mix     []ElementMix
 	Arrival *Arrival
 	Swap    *Swap
+	// Fail schedules node failures at offsets from phase open; Rejoin
+	// brings nodes failed in earlier phases back when this phase opens.
+	// Both are rejected in multi-tenant mode.
+	Fail   []Fail
+	Rejoin []Rejoin
 	// Arg1Random additionally draws the second argument word per message
 	// (value-carrying app workloads use it; the legacy patterns leave
 	// args[1] zero and consume no extra randomness).
 	Arg1Random bool
+}
+
+// ChaosSpec perturbs the fabric: the scenario's backend is wrapped in
+// the "chaos" transport, which delays every put by a deterministic
+// pseudo-random duration in [MinDelay, MaxDelay] (preserving per-
+// destination order) and optionally misadvertises the backend's
+// lookahead. LookaheadScale in (0, 1) shrinks the advertised bound — a
+// legal stressor that forces smaller conservative windows;
+// LookaheadBoost > 0 inflates it past the truth, an adversarial
+// contract violation the parallel engine must catch loudly (speculation
+// rollback + diagnostic panic), never absorb silently.
+type ChaosSpec struct {
+	MinDelay       sim.Duration
+	MaxDelay       sim.Duration
+	LookaheadScale float64
+	LookaheadBoost sim.Duration
 }
 
 // Scenario parameterizes one workload run.
@@ -177,6 +238,11 @@ type Scenario struct {
 	DisableSwap bool
 	// Backend selects the fabric transport ("" = default "simnet").
 	Backend string
+	// Chaos, when set, wraps Backend in the chaos failure-injection
+	// transport with these perturbation bounds. Equal seeds still give
+	// bit-identical results at every worker count: the perturbation RNG
+	// is split per port and consumed in issue order on the issuing shard.
+	Chaos *ChaosSpec
 	// Arrival is the default arrival process (closed loop unless set).
 	Arrival Arrival
 	// Phases composes the run; empty means one closed-loop phase of
@@ -248,10 +314,16 @@ type PhaseResult struct {
 // Result reports one scenario run.
 type Result struct {
 	Scenario   Scenario
-	Shards     int          // fabric shards actually used
-	Workers    int          // engine workers actually used (1 = sequential)
-	Windows    uint64       // parallel windows executed (0 = stayed serial)
-	Injections int          // handlers executed fabric-wide
+	Shards     int    // fabric shards actually used
+	Workers    int    // engine workers actually used (1 = sequential)
+	Windows    uint64 // parallel windows executed (0 = stayed serial)
+	Injections int    // handlers executed fabric-wide
+	// Lost counts planned messages a node failure made unexecutable:
+	// issued-but-not-executed backlog into the dead node, queued sends
+	// out of it, its own unissued plan, and bursts refused at issue while
+	// it was down. Executed + handler errors + Lost always equals the
+	// planned total — every planned message is accounted for exactly once.
+	Lost       int
 	SimTime    sim.Duration // simulated wall time of the whole run
 	RatePerSec float64      // simulated injections per simulated second
 	Digest     uint64       // order-insensitive fold of per-node digests
@@ -323,13 +395,14 @@ func buildPlan(sc *Scenario, topo Topology, spec *phaseSpec, rng *sim.RNG) (*pha
 	if p.err != nil {
 		return nil, p.err
 	}
-	if spec.arrival.Kind == Poisson {
-		mean := float64(sim.Second) / spec.arrival.RatePerSec // ps per burst
+	if gen := arrivalKinds[spec.arrival.Kind]; gen != nil && gen.gen != nil {
 		for src := range pp.bursts {
-			var at float64
+			if len(pp.bursts[src]) == 0 {
+				continue
+			}
+			ats := gen.gen(&spec.arrival, rng, len(pp.bursts[src]))
 			for i := range pp.bursts[src] {
-				at += rng.Exp(mean)
-				pp.bursts[src][i].at = sim.Duration(at)
+				pp.bursts[src][i].at = ats[i]
 			}
 		}
 	}
@@ -374,6 +447,19 @@ type runner struct {
 	pairsHold  bool
 	swapHold   bool
 	missing    map[[2]int]bool // open phase's channels still to create
+
+	// Failure injection. chains exposes each sender's closed-loop issue
+	// state so a node failure can abandon (and account) the dead node's
+	// unissued remainder; issued counts successfully issued messages per
+	// destination (atomics: senders on any shard write them); lost tallies
+	// messages a failure made unexecutable; down marks nodes currently
+	// failed (written and read only under serial execution: doFail and
+	// openPhase). An armed Fail pins the engine serial until it fires —
+	// teardown is a zero-lookahead global action.
+	chains []*chainState
+	issued []atomic.Int64
+	lost   atomic.Int64
+	down   []bool
 
 	// Multi-tenant mode (see tenants.go). Lanes are the per-tenant
 	// traffic programs; laneByView routes channel-creation events to the
@@ -488,6 +574,16 @@ func (r *runner) performSwap(node int, app string) {
 // and starts its senders.
 func (r *runner) openPhase() {
 	pp := r.plans[r.phase]
+	// Rejoins happen at phase open, before the missing-channel scan:
+	// channels into the rejoined node rebuild lazily under the same
+	// serial hold as initial lazy creation.
+	for _, rj := range pp.spec.rejoin {
+		if err := r.sys.RejoinNode(rj.Node); err != nil {
+			r.fail(err)
+			return
+		}
+		r.down[rj.Node] = false
+	}
 	if pp.spec.swap != nil {
 		r.performSwap(pp.spec.swap.Node, pp.spec.swap.App)
 	}
@@ -505,6 +601,13 @@ func (r *runner) openPhase() {
 		for src := range pp.bursts {
 			for i := range pp.bursts[src] {
 				k := [2]int{src, pp.bursts[src][i].dst}
+				// Pairs touching a down node are skipped: no channel will be
+				// created while it is down, so waiting on one would pin the
+				// engine serial forever. Their bursts fail at issue and are
+				// accounted lost.
+				if r.down[src] || r.down[k[1]] {
+					continue
+				}
 				if !r.missing[k] && !r.sys.Mesh().HasChannel(src, k[1]) {
 					r.missing[k] = true
 				}
@@ -515,11 +618,22 @@ func (r *runner) openPhase() {
 			r.sys.HoldSerial()
 		}
 	}
+	// An armed failure pins the engine serial until it fires: teardown
+	// severs channels and fails queued sends fabric-wide, a zero-
+	// lookahead global action.
+	for _, fl := range pp.spec.fail {
+		f := fl
+		r.sys.HoldSerial()
+		r.sys.After(f.Node, f.At, func() {
+			r.doFail(f.Node)
+			r.sys.ReleaseSerial()
+		})
+	}
 	for src := range pp.bursts {
 		if len(pp.bursts[src]) == 0 {
 			continue
 		}
-		if pp.spec.arrival.Kind == Poisson {
+		if pp.spec.arrival.openLoop() {
 			r.armOpenSender(src, pp.bursts[src])
 		} else {
 			r.armClosedSender(src, pp.bursts[src])
@@ -545,45 +659,131 @@ func (r *runner) advance() {
 	}
 }
 
+// chainState is one closed-loop sender's issue position, hoisted out of
+// the sender closure so a node failure can abandon the chain and count
+// its unissued remainder.
+type chainState struct {
+	queue []burst
+	next  int
+	dead  bool
+}
+
+// addLost accounts n planned messages a failure made unexecutable.
+// Lost messages advance the phase barrier exactly like executions —
+// they are resolved plan, just resolved by loss — so phases keep
+// opening and the final accounting stays exact. The same serial-
+// discipline argument as the execution hook applies: while a non-final
+// phase is open the engine is serial, and in the final phase advance is
+// a no-op.
+func (r *runner) addLost(n int) {
+	if n <= 0 {
+		return
+	}
+	r.lost.Add(int64(n))
+	r.executedAll.Add(int64(n))
+	r.advance()
+}
+
+// accountDown absorbs an issue refusal caused by a failed node: the
+// burst's messages are lost, the sender goes on. Any other issue error
+// still stops the run.
+func (r *runner) accountDown(err error, n int) bool {
+	var nd *core.NodeDownError
+	if !errors.As(err, &nd) {
+		return false
+	}
+	r.addLost(n)
+	return true
+}
+
+// doFail tears node down mid-run. It executes serially (the armed Fail
+// holds the engine) so the loss ledger is exact: every planned message
+// lands in exactly one of executed, handler-errored, or lost.
+func (r *runner) doFail(node int) {
+	// Abandon the dead node's own unissued plan first, so the FailPending
+	// callbacks below (which re-fire issue chains synchronously) see the
+	// chain already dead.
+	var abandoned int
+	if cs := r.chains[node]; cs != nil && !cs.dead {
+		cs.dead = true
+		for _, b := range cs.queue[cs.next:] {
+			abandoned += len(b.args)
+		}
+	}
+	r.down[node] = true
+	// Channels touching the dead node will not be created while it is
+	// down: drop them from the open phase's missing set, or the channel-
+	// creation hold would pin the engine serial forever.
+	if r.pairsHold {
+		for k := range r.missing {
+			if k[0] == node || k[1] == node {
+				delete(r.missing, k)
+			}
+		}
+		r.maybeReleasePairs()
+	}
+	outbound, err := r.sys.FailNode(node)
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	// Inbound backlog: issued to the node but never completed — queued
+	// sends FailNode just failed, frames delivered but not yet serviced,
+	// and traffic still on the wire (its delivery writes memory but the
+	// stopped receiver never services it).
+	nr := &r.res.PerNode[node]
+	backlog := int(r.issued[node].Load()) - nr.Executed - nr.Errors
+	r.addLost(abandoned + outbound + backlog)
+}
+
 // armClosedSender installs the self-clocked issue chain: each sender
 // fires its next burst when the last message of the previous one
 // completes delivery. One completion callback per sender, not per
 // burst: fire is the self-clock, onDone re-arms it.
 func (r *runner) armClosedSender(src int, queue []burst) {
 	s := src
-	next := 0
+	cs := &chainState{queue: queue}
+	r.chains[s] = cs
 	var fire func()
 	onDone := func(tc.Result) { fire() }
 	payloadOpt := tc.Payload(r.payload)
 	localOpt := tc.Local()
 	optScratch := make([]tc.CallOpt, 0, 3)
 	fire = func() {
-		if next >= len(queue) || r.failed.Load() {
+		for {
+			if cs.next >= len(cs.queue) || cs.dead || r.failed.Load() {
+				return
+			}
+			b := &cs.queue[cs.next]
+			cs.next++
+			fn, err := r.fnFor(s, b.mix.Pkg, b.mix.Elem)
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
+			if b.local {
+				callOpts = append(callOpts, localOpt)
+			}
+			fu := fn.Call(b.dst, b.args[0], callOpts...)
+			if err := fu.IssueErr(); err != nil {
+				// A burst refused because a node is down is lost, and the
+				// chain self-clocks straight into its next burst; any other
+				// synchronous issue failure (bad element) stops the run.
+				if r.accountDown(err, len(b.args)) {
+					continue
+				}
+				r.fail(err)
+				return
+			}
+			r.issued[b.dst].Add(int64(len(b.args)))
+			fu.Done(onDone)
+			// The future is not touched after its Done callback: hand it
+			// back to the pool so self-clocked senders recycle one future
+			// per in-flight burst instead of allocating per burst.
+			fu.Release()
 			return
 		}
-		b := &queue[next]
-		next++
-		fn, err := r.fnFor(s, b.mix.Pkg, b.mix.Elem)
-		if err != nil {
-			r.fail(err)
-			return
-		}
-		callOpts := append(optScratch[:0], tc.Burst(b.args), payloadOpt)
-		if b.local {
-			callOpts = append(callOpts, localOpt)
-		}
-		fu := fn.Call(b.dst, b.args[0], callOpts...)
-		if err := fu.IssueErr(); err != nil {
-			// Synchronous issue failure (bad element, torn-down
-			// destination): stop the sender.
-			r.fail(err)
-			return
-		}
-		fu.Done(onDone)
-		// The future is not touched after its Done callback: hand it
-		// back to the pool so self-clocked senders recycle one future
-		// per in-flight burst instead of allocating per burst.
-		fu.Release()
 	}
 	r.sys.After(src, 0, fire)
 }
@@ -614,8 +814,13 @@ func (r *runner) armOpenSender(src int, queue []burst) {
 			}
 			fu := fn.Call(b.dst, b.args[0], callOpts...)
 			if err := fu.IssueErr(); err != nil {
+				if r.accountDown(err, len(b.args)) {
+					return
+				}
 				r.fail(err)
+				return
 			}
+			r.issued[b.dst].Add(int64(len(b.args)))
 			// Fire and forget: the unobserved future recycles itself.
 		})
 	}
@@ -657,6 +862,14 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Shards > 0 {
 		opts = append(opts, tc.WithShards(sc.Shards))
 	}
+	if sc.Chaos != nil {
+		opts = append(opts, tc.WithChaos(fabric.ChaosConfig{
+			MinDelay:       sc.Chaos.MinDelay,
+			MaxDelay:       sc.Chaos.MaxDelay,
+			LookaheadScale: sc.Chaos.LookaheadScale,
+			LookaheadBoost: sc.Chaos.LookaheadBoost,
+		}))
+	}
 	sys, err := tc.NewSystem(sc.Nodes, opts...)
 	if err != nil {
 		return nil, err
@@ -693,6 +906,9 @@ func Run(sc Scenario) (*Result, error) {
 		payload:   make([]byte, sc.PayloadBytes),
 		sharded:   sys.Sharded(),
 		missing:   map[[2]int]bool{},
+		chains:    make([]*chainState, sc.Nodes),
+		issued:    make([]atomic.Int64, sc.Nodes),
+		down:      make([]bool, sc.Nodes),
 	}
 	sys.Mesh().OnChannelCreated = r.onChannel
 	for i := range r.payload {
@@ -779,6 +995,7 @@ func Run(sc Scenario) (*Result, error) {
 		res.Injections += nr.Executed
 		res.Digest += nr.Digest // order-insensitive across nodes
 	}
+	res.Lost = int(r.lost.Load())
 	res.SimTime = sim.Duration(sys.Now())
 	res.Windows = sys.Windows()
 	if secs := res.SimTime.Seconds(); secs > 0 {
@@ -790,9 +1007,9 @@ func Run(sc Scenario) (*Result, error) {
 	for _, nr := range res.PerNode {
 		errSum += nr.Errors
 	}
-	if res.Injections+errSum != total {
-		return res, fmt.Errorf("workload: %s executed %d+%d of %d planned messages",
-			sc.Pattern, res.Injections, errSum, total)
+	if res.Injections+errSum+res.Lost != total {
+		return res, fmt.Errorf("workload: %s executed %d+%d (+%d lost) of %d planned messages",
+			sc.Pattern, res.Injections, errSum, res.Lost, total)
 	}
 	return res, nil
 }
