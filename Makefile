@@ -1,12 +1,20 @@
 # Two-Chains build/test entry points. `make check` is the tier-1 gate CI
-# runs: formatting, vet, build, race tests, and benchmark smoke passes
-# (mesh workloads plus the handle-vs-string invocation pair, with
+# runs: formatting, vet, lint, build, race tests, and benchmark smoke
+# passes (mesh workloads plus the handle-vs-string invocation pair, with
 # -benchmem so allocation regressions surface in CI logs).
+#
+# `make lint` runs cmd/tclint — the static checkers for the ROADMAP's
+# ownership-domain and determinism contracts (scratchescape,
+# poolownership, detsource, sharddomain) — and fails on any diagnostic.
+# Suppress a single finding with `//tclint:allow <analyzer> <reason>`;
+# stale or malformed directives fail the lint themselves. The vet
+# target names copylocks/loopclosure/atomic explicitly so a toolchain
+# default change can never silently drop them.
 #
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR8.json by
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR9.json by
 # default; override with BENCH_OUT=...) — the machine-readable perf
 # trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
 # vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
@@ -23,12 +31,12 @@
 
 GO ?= go
 GOFMT ?= gofmt
-BENCH_OUT ?= BENCH_PR8.json
-SMOKE_BASELINE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
+SMOKE_BASELINE ?= BENCH_PR8.json
 
-.PHONY: check fmt-check vet build test bench-smoke chaos-smoke bench-json profile perf examples
+.PHONY: check fmt-check vet lint build test bench-smoke chaos-smoke bench-json profile perf examples
 
-check: fmt-check vet build test chaos-smoke bench-smoke
+check: fmt-check vet build lint test chaos-smoke bench-smoke
 
 fmt-check:
 	@unformatted=$$($(GOFMT) -l .); \
@@ -38,6 +46,10 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure -atomic ./...
+
+lint:
+	$(GO) run ./cmd/tclint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ShardDomain guards the single-writer property of the ROADMAP's
+// "Shard-local by construction" table (config.go: shardLocalTypes): a
+// type owned by one shard worker never needs a lock, so sync.Mutex /
+// sync.Map / sync/atomic state appearing in one is either an
+// ownership-domain violation being papered over with synchronization,
+// or a genuine domain change that must update the table and the
+// ROADMAP together. Flagged: sync/sync-atomic-typed fields (including
+// through pointers, arrays, and slices) declared in a shard-local
+// struct, and sync/atomic package calls made from a shard-local
+// method.
+var ShardDomain = &Analyzer{
+	Name: "sharddomain",
+	Doc:  "documented shard-local types must not grow sync primitives or atomic ops",
+	Run:  runShardDomain,
+}
+
+func runShardDomain(pass *Pass) error {
+	path := pass.Pkg.Path()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !isShardLocal(path, ts.Name.Name) {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkShardLocalFields(pass, ts.Name.Name, st)
+				}
+			case *ast.FuncDecl:
+				if name, ok := shardLocalRecv(pass, path, d); ok {
+					checkShardLocalMethodBody(pass, name, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkShardLocalFields(pass *Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if syncType, found := containsSyncType(tv.Type); found {
+			pass.Reportf(field.Type.Pos(), "shard-local type %s declares a %s field; shard-local state is single-writer by construction — either the ownership domain changed (update the ROADMAP table and tclint config together) or this synchronization papers over a domain violation", typeName, syncType)
+		}
+	}
+}
+
+// shardLocalRecv returns the receiver's base type name when fd is a
+// method on a shard-local type of this package.
+func shardLocalRecv(pass *Pass, path string, fd *ast.FuncDecl) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok || !isShardLocal(path, id.Name) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func checkShardLocalMethodBody(pass *Pass, typeName string, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := pkgNameOf(pass.Info, sel.X); pkg != nil && pkg.Path() == "sync/atomic" {
+			pass.Reportf(sel.Pos(), "atomic.%s in a method of shard-local type %s; shard-local state is single-writer — no synchronization belongs here", sel.Sel.Name, typeName)
+		}
+		return true
+	})
+}

@@ -1,0 +1,33 @@
+// Fixture: uses after the pooling hand-off points — Message after
+// Send/SendBatch, Future after Release — each reported at the exact
+// reaching use.
+package fixture
+
+import (
+	"twochains/internal/mailbox"
+	"twochains/internal/tc"
+)
+
+func useAfterSend(s *mailbox.Sender) {
+	msg := mailbox.GetMessage()
+	msg.Args[0] = 7
+	s.Send(msg, nil)
+	msg.Args[1] = 9 // want `use of \*mailbox\.Message msg after Send`
+}
+
+func useAfterSendBatch(s *mailbox.Sender, msgs []*mailbox.Message) {
+	s.SendBatch(msgs, nil)
+	_ = len(msgs) // want `use of message batch msgs after SendBatch`
+}
+
+func capturedByCompletion(s *mailbox.Sender) {
+	msg := mailbox.GetMessage()
+	s.Send(msg, func(info mailbox.SendInfo) {
+		_ = msg.Kind // want `msg captured by the completion callback of its own Send`
+	})
+}
+
+func futureAfterRelease(fu *tc.Future) {
+	fu.Release()
+	_, _ = fu.Result() // want `use of tc\.Future fu after Release`
+}

@@ -1,0 +1,56 @@
+// Fixture: every escape class of the scratch-lifetime rule, each
+// reported at the exact offending token.
+package fixture
+
+import (
+	"twochains/internal/mailbox"
+	"twochains/internal/mem"
+)
+
+type sink struct {
+	d    *mailbox.Delivery
+	view []byte
+}
+
+var global *mailbox.Delivery
+
+func storeToField(s *sink, d *mailbox.Delivery) {
+	s.d = d // want `scratch \*mailbox\.Delivery stored to field d`
+}
+
+func storeToGlobalMapChan(d *mailbox.Delivery, ch chan *mailbox.Delivery, m map[int]*mailbox.Delivery) {
+	global = d // want `stored to package-level var global`
+	m[0] = d   // want `stored into a map or slice element`
+	ch <- d    // want `sent on a channel`
+}
+
+func capturedByGoroutine(d *mailbox.Delivery) {
+	go func() { _ = d.Seq }() // want `captured by a goroutine`
+}
+
+func capturedByDefer(d *mailbox.Delivery) {
+	defer func() { _ = d.Seq }() // want `captured by a deferred call`
+}
+
+func returnedThroughAlias(d *mailbox.Delivery) *mailbox.Delivery {
+	alias := d
+	return alias // want `returned from its callback`
+}
+
+func appended(d *mailbox.Delivery, list []*mailbox.Delivery) []*mailbox.Delivery {
+	return append(list, d) // want `appended to a slice`
+}
+
+func viewEscapes(s *sink, as *mem.AddressSpace) {
+	v, err := as.ViewMut(0, 8)
+	if err != nil {
+		return
+	}
+	s.view = v // want `mem view slice stored to field view`
+}
+
+func closureCallbackEscapes(s *sink) func(*mailbox.Delivery) {
+	return func(d *mailbox.Delivery) {
+		s.d = d // want `stored to field d`
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture (negative twins): legal flow through locals, value copies,
+// and calls — none of these may be reported.
+package fixture
+
+import (
+	"twochains/internal/mailbox"
+	"twochains/internal/mem"
+)
+
+type retained struct {
+	copyD mailbox.Delivery
+	data  []byte
+}
+
+func read(d *mailbox.Delivery) uint32 { return d.Seq }
+
+func legalFlow(s *retained, d *mailbox.Delivery, as *mem.AddressSpace) {
+	local := d      // local alias: fine
+	_ = read(local) // flow through a call: fine
+	s.copyD = *d    // value copy to a field: fine (the copy is owned)
+
+	v, err := as.View(0, 16)
+	if err != nil {
+		return
+	}
+	s.data = append([]byte(nil), v...) // copying the view's bytes: fine
+	_ = v[0]                           // reading inside the event: fine
+}

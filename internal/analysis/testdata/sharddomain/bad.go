@@ -1,0 +1,21 @@
+// Fixture: synchronization creeping into documented shard-local types
+// (this fixture claims the mailbox package path so the real ownership
+// table drives it — Sender is shard-local, types not in the table are
+// not checked).
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Sender struct {
+	mu       sync.Mutex   // want `shard-local type Sender declares a sync\.Mutex field`
+	inFlight atomic.Int64 // want `shard-local type Sender declares a sync/atomic\.Int64 field`
+	byDst    *sync.Map    // want `shard-local type Sender declares a sync\.Map field`
+	pending  []int
+}
+
+func (s *Sender) bump(counter *int64) {
+	atomic.AddInt64(counter, 1) // want `atomic\.AddInt64 in a method of shard-local type Sender`
+}

@@ -1,0 +1,23 @@
+// Fixture (negative twins): synchronization in types outside the
+// shard-local table is the cross-shard hand-off domain's business, not
+// sharddomain's.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// arbiterShared is not in the shard-local table: a lock here is fine.
+type arbiterShared struct {
+	mu    sync.Mutex
+	grant atomic.Int64
+}
+
+func (a *arbiterShared) bump(counter *int64) {
+	atomic.AddInt64(counter, 1)
+}
+
+// Sender methods that merely pass values around without sync/atomic
+// calls are fine; plain fields stay plain.
+func (s *Sender) drainLen() int { return len(s.pending) }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"twochains/internal/cpusim"
 	"twochains/internal/fabric"
@@ -309,8 +310,17 @@ func (n *Node) NamespaceView(key string) *linker.Namespace {
 		return ns
 	}
 	ns := linker.NewNamespace()
-	for name, va := range n.NS.Snapshot() {
-		ns.Redefine(name, va)
+	// Fork in sorted name order: the namespace is a plain map today, but
+	// definition order must never become an accidental function of Go's
+	// randomized map iteration (tclint detsource).
+	snap := n.NS.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns.Redefine(name, snap[name])
 	}
 	n.nsViews[key] = ns
 	return ns

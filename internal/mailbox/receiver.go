@@ -342,6 +342,7 @@ func (r *Receiver) fail(d *Delivery, err error, serviceCost sim.Duration) {
 	if r.OnError != nil {
 		r.OnError(d, err)
 	}
+	//tclint:allow scratchescape the receiver owns the scratch record; completeFn runs before the next frame is parsed into it
 	r.completeD, r.completeAt = d, r.eng.Now().Add(serviceCost)
 	r.eng.After(serviceCost, r.completeFn)
 }

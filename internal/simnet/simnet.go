@@ -392,6 +392,7 @@ type NIC struct {
 	// cross-shard issuers perform at issue time) take an atomic snapshot;
 	// Register/Deregister swap in a fresh map. Registration churn is
 	// setup-path (channel creation, RIED swaps), never hot.
+	//tclint:allow sharddomain COW registration table: cross-shard issuers take read snapshots; swaps happen on the owner (ROADMAP PR 5)
 	regs atomic.Pointer[map[RKey]*Registration]
 
 	// barrier is the fence point per destination: puts issued after a

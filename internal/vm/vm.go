@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 
 	"twochains/internal/isa"
 	"twochains/internal/mem"
@@ -191,12 +192,20 @@ func (vm *VM) EnsureJam(start uint64, code []byte) (*Region, error) {
 	// table length, so its body lands at a shifted VA within the same
 	// frame slot: evict every cached jam overlapping the new range, or a
 	// stale overlapping decode could shadow this one in findRegion.
+	// Collect the overlapping slots first, then evict in ascending VA
+	// order: eviction mutates the region list, and its order must not
+	// ride Go's randomized map iteration (tclint detsource).
 	end := start + uint64(len(code))
+	var evict []uint64
 	for va, old := range vm.jams {
 		if va != start && old.region.Start < end && old.region.End > start {
-			vm.RemoveRegion(old.region)
-			delete(vm.jams, va)
+			evict = append(evict, va)
 		}
+	}
+	sort.Slice(evict, func(i, j int) bool { return evict[i] < evict[j] })
+	for _, va := range evict {
+		vm.RemoveRegion(vm.jams[va].region)
+		delete(vm.jams, va)
 	}
 	r, err := vm.AddRegion(start, code, 0)
 	if err != nil {
