@@ -14,7 +14,7 @@
 # `make examples` builds and runs every examples/* binary headless — the
 # cheapest whole-surface smoke of the public API (CI runs it too).
 #
-# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR9.json by
+# `make bench-json` regenerates $(BENCH_OUT) (BENCH_PR10.json by
 # default; override with BENCH_OUT=...) — the machine-readable perf
 # trajectory point (ns/op, allocs/op, simulated injections/sec, speedup
 # vs the recorded pre-PR-3 baseline in bench/BASELINE_PR3.json), now
@@ -22,8 +22,10 @@
 # vs workers=1 twins of the same bit-identical simulation), the
 # speculative-window variant, the multi-tenant overload benchmark with
 # its per-tenant goodput metrics, and the chaos-perturbed fail/rejoin
-# mesh with its loss ledger. bench-smoke gates against the newest
-# recorded trajectory file ($(SMOKE_BASELINE)); chaos-smoke race-runs
+# mesh with its loss ledger. bench-smoke gates sim_inj_per_sec against
+# the newest recorded trajectory file ($(SMOKE_BASELINE)) and
+# BenchmarkFuncCall/BenchmarkStringInject ns/op against the JIT
+# recording ($(FUNC_BASELINE), lower is better); chaos-smoke race-runs
 # the fail/rejoin drain and the lookahead-fuzz violation diagnostic.
 # `make profile` captures CPU+heap profiles of BenchmarkMeshAllToAll for
 # diagnosing regressions (mesh_cpu.prof / mesh_mem.prof, inspect with
@@ -31,8 +33,12 @@
 
 GO ?= go
 GOFMT ?= gofmt
-BENCH_OUT ?= BENCH_PR9.json
-SMOKE_BASELINE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+SMOKE_BASELINE ?= BENCH_PR9.json
+# FUNC_BASELINE gates BenchmarkFuncCall ns/op (lower is better) so the
+# compiled-jam fast path can't silently regress; it points at the PR
+# that recorded the JIT win.
+FUNC_BASELINE ?= BENCH_PR10.json
 
 .PHONY: check fmt-check vet lint build test bench-smoke chaos-smoke bench-json profile perf examples
 
@@ -71,7 +77,11 @@ bench-smoke:
 	@cat bench_smoke.out
 	@$(GO) run ./cmd/benchjson -smoke -baseline $(SMOKE_BASELINE) -metric sim_inj_per_sec -tol 0.25 < bench_smoke.out; \
 		st=$$?; rm -f bench_smoke.out; exit $$st
-	$(GO) test -run xxx -bench 'BenchmarkFuncCall|BenchmarkStringInject' -benchmem -benchtime 100x .
+	$(GO) test -run xxx -bench 'BenchmarkFuncCall$$|BenchmarkStringInject' -benchmem -benchtime 200000x . \
+		> bench_func.out || { cat bench_func.out; rm -f bench_func.out; exit 1; }
+	@cat bench_func.out
+	@$(GO) run ./cmd/benchjson -smoke -baseline $(FUNC_BASELINE) -metric ns/op -tol 0.25 < bench_func.out; \
+		st=$$?; rm -f bench_func.out; exit $$st
 
 chaos-smoke:
 	$(GO) test -race -run 'TestFailRejoinDrain|TestChaosLookaheadFuzzViolation' ./internal/workload

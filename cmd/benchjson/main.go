@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -45,10 +46,20 @@ type Entry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Host identifies the machine shape a recording was taken on, so
+// single-core trajectory files are self-identifying next to multi-core
+// ones.
+type Host struct {
+	GoMaxProcs int `json:"go_max_procs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
 // File is the emitted document shape.
 type File struct {
 	// Note describes how to regenerate the numbers.
 	Note string `json:"note"`
+	// Host is the recording machine's shape.
+	Host *Host `json:"host,omitempty"`
 	// Baseline is the pre-change recording this run is compared against.
 	Baseline map[string]*Entry `json:"baseline,omitempty"`
 	// Current is this run.
@@ -132,23 +143,38 @@ func loadBaseline(path string) (map[string]*Entry, error) {
 // smokeCheck compares one metric of every benchmark present in both
 // runs against the recorded baseline with a relative tolerance band; it
 // reports which baseline file the comparisons are against and whether
-// any regressed below the band.
+// any regressed below the band. Custom metrics are rates
+// (higher-is-better); the built-in "ns/op" metric gates latency, so its
+// ratio is inverted (lower-is-better).
 func smokeCheck(cur, base map[string]*Entry, basePath, metric string, tol float64) bool {
 	ok := true
 	compared := 0
 	fmt.Printf("benchjson smoke: comparing %s against baseline file %s\n", metric, basePath)
 	for name, b := range base {
 		c, present := cur[name]
-		if !present || c.Metrics == nil || b.Metrics == nil {
+		if !present {
 			continue
 		}
-		cv, cok := c.Metrics[metric]
-		bv, bok := b.Metrics[metric]
-		if !cok || !bok || bv <= 0 {
-			continue
+		var cv, bv, ratio float64
+		if metric == "ns/op" {
+			cv, bv = c.NsPerOp, b.NsPerOp
+			if cv <= 0 || bv <= 0 {
+				continue
+			}
+			ratio = bv / cv
+		} else {
+			if c.Metrics == nil || b.Metrics == nil {
+				continue
+			}
+			var cok, bok bool
+			cv, cok = c.Metrics[metric]
+			bv, bok = b.Metrics[metric]
+			if !cok || !bok || bv <= 0 {
+				continue
+			}
+			ratio = cv / bv
 		}
 		compared++
-		ratio := cv / bv
 		status := "ok"
 		if ratio < 1-tol {
 			status = "REGRESSED"
@@ -197,7 +223,11 @@ func main() {
 		}
 		return
 	}
-	f := &File{Note: *note, Current: cur}
+	f := &File{
+		Note:    *note,
+		Host:    &Host{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
+		Current: cur,
+	}
 	if *baselinePath != "" {
 		base, err := loadBaseline(*baselinePath)
 		if err != nil {

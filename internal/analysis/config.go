@@ -56,15 +56,22 @@ var goroutineAllow = map[string]map[string]bool{
 //
 // Deliberately absent, per the same tables: sim.Group and
 // sim.SharedBufPool (cross-shard by design), core.Mesh (locked
-// chans/nsMemo), fabric's backend registry, the package-level
-// Message/completion/thin-op sync.Pools, simnet's COW registration
-// tables, and the workload runner's post-run merge counters.
+// chans/nsMemo), fabric's backend registry, the package-level Message
+// sync.Pool behind mailbox.GetMessage (kept for caller-constructed
+// frames; the per-call path mints from the Sender's shard-local
+// freelist, and completion/thin-op records likewise live on Sender and
+// Endpoint freelists now), simnet's COW registration tables, and the
+// workload runner's post-run merge counters.
+//
+// The vm entry covers the bind-time JIT: a Region's compiled program,
+// and the per-call jitMachine embedded in the VM, are translation-cache
+// state owned by the node's shard worker exactly like the decode cache.
 var shardLocalTypes = map[string][]string{
 	"twochains/internal/sim":     {"Engine", "BufPool", "Arena", "RNG"},
 	"twochains/internal/mem":     {"AddressSpace"},
 	"twochains/internal/memsim":  {"Hierarchy"},
 	"twochains/internal/cpusim":  {"Counter"},
-	"twochains/internal/vm":      {"VM"},
+	"twochains/internal/vm":      {"VM", "Region", "program", "jitMachine"},
 	"twochains/internal/ucx":     {"Worker", "Endpoint"},
 	"twochains/internal/mailbox": {"Sender", "Receiver", "Delivery", "Message", "FairArbiter"},
 	"twochains/internal/simnet":  {"NIC"},

@@ -206,7 +206,7 @@ func (b *Bound) injectRaw(args [2]uint64, usr []byte, done func(mailbox.SendInfo
 	if err := b.ensureInject(); err != nil {
 		return err
 	}
-	m := mailbox.GetMessage()
+	m := b.ch.Sender.GetMessage()
 	b.fillInjected(m, args, usr)
 	b.ch.Sender.Send(m, done)
 	return nil
@@ -227,7 +227,7 @@ func (b *Bound) InjectBurstInfo(argsBatch [][2]uint64, usr []byte, done func(mai
 	}
 	msgs := b.burstMsgs(len(argsBatch))
 	for i, args := range argsBatch {
-		m := mailbox.GetMessage()
+		m := b.ch.Sender.GetMessage()
 		b.fillInjected(m, args, usr)
 		msgs[i] = m
 	}
@@ -250,7 +250,7 @@ func (b *Bound) callLocalRaw(args [2]uint64, usr []byte, done func(mailbox.SendI
 	if err := b.ensureLocal(); err != nil {
 		return err
 	}
-	m := mailbox.GetMessage()
+	m := b.ch.Sender.GetMessage()
 	b.fillLocal(m, args, usr)
 	b.ch.Sender.Send(m, done)
 	return nil
@@ -270,7 +270,7 @@ func (b *Bound) CallLocalBurstInfo(argsBatch [][2]uint64, usr []byte, done func(
 	}
 	msgs := b.burstMsgs(len(argsBatch))
 	for i, args := range argsBatch {
-		m := mailbox.GetMessage()
+		m := b.ch.Sender.GetMessage()
 		b.fillLocal(m, args, usr)
 		msgs[i] = m
 	}

@@ -21,6 +21,7 @@ package mailbox
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"twochains/internal/mem"
@@ -68,6 +69,11 @@ type Message struct {
 	// those to the pool, so caller-constructed messages keep value
 	// semantics.
 	pooled bool
+	// owner, when set, is the Sender whose private freelist minted this
+	// message (Sender.GetMessage): release recycles it there instead of
+	// the shared pool. Sound because both mint and release happen on the
+	// sender's shard — the send path is shard-owned end to end.
+	owner *Sender
 	// JamImage is the prebuilt [GOT table][gp slot][body] image for
 	// injected messages; nil otherwise. Extern GOT entries already carry
 	// receiver VAs; local entries and the gp slot are patched at pack time
@@ -96,6 +102,11 @@ func GetMessage() *Message {
 // reference (JamImage, Patches, and Usr are caller-owned and merely
 // unreferenced, never recycled here). Non-pooled messages are left alone.
 func (m *Message) release() {
+	if o := m.owner; o != nil {
+		*m = Message{owner: o}
+		o.msgFree = append(o.msgFree, m)
+		return
+	}
 	if !m.pooled {
 		return
 	}
@@ -123,6 +134,16 @@ func (m *Message) WireLen() int {
 // determines the GOT pointer value and any body-relative GOT entries.
 // The signal trailer is written at frameSize-8.
 func (m *Message) Pack(buf []byte, frameSize int, seq uint32, dstFrameVA uint64) error {
+	return m.packInto(buf, frameSize, seq, dstFrameVA, frameSize, false)
+}
+
+// packInto is Pack with the steady-state shortcuts the Sender's per-slot
+// cache enables: clearTo bounds the tail clear to bytes a previous pack
+// of the same buffer actually dirtied, and haveJam skips the jam image
+// copy when the identical image (same backing array) is already in buf
+// from the slot's previous occupant. Pack(…) == packInto(…, frameSize,
+// false): clear everything, copy everything.
+func (m *Message) packInto(buf []byte, frameSize int, seq uint32, dstFrameVA uint64, clearTo int, haveJam bool) error {
 	if m.overhead()+len(m.Usr) > frameSize {
 		return fmt.Errorf("mailbox: message needs %d bytes, frame is %d",
 			m.overhead()+len(m.Usr), frameSize)
@@ -133,12 +154,20 @@ func (m *Message) Pack(buf []byte, frameSize int, seq uint32, dstFrameVA uint64)
 	if m.Kind == KindInjected && m.GotTableLen+8 > len(m.JamImage) {
 		return fmt.Errorf("mailbox: GOT table %d exceeds jam image %d", m.GotTableLen, len(m.JamImage))
 	}
-	for i := range buf[:frameSize] {
-		buf[i] = 0
-	}
 	jamLen := 0
 	if m.Kind == KindInjected {
 		jamLen = len(m.JamImage)
+	}
+	// The fields below cover [0, written) with no gaps — header, preamble,
+	// jam image (the gp slot sits inside it), args, usr are contiguous —
+	// so only the tail up to the signal trailer needs clearing to leave
+	// the frame bit-identical to a full pre-zero.
+	written := HeaderSize + ArgsSize + len(m.Usr)
+	if m.Kind == KindInjected {
+		written += PreSize + jamLen
+	}
+	if clearTo > written {
+		clear(buf[written:clearTo])
 	}
 	buf[0] = FrameMagic
 	buf[1] = m.Kind
@@ -154,7 +183,9 @@ func (m *Message) Pack(buf []byte, frameSize int, seq uint32, dstFrameVA uint64)
 		binary.LittleEndian.PutUint16(buf[off+2:], uint16(m.TextLen))
 		binary.LittleEndian.PutUint32(buf[off+4:], m.EntryOff)
 		off += PreSize
-		copy(buf[off:], m.JamImage)
+		if !haveJam {
+			copy(buf[off:], m.JamImage)
+		}
 		gotVA := dstFrameVA + uint64(HeaderSize+PreSize)
 		gpOff := off + m.GotTableLen
 		binary.LittleEndian.PutUint64(buf[gpOff:], gotVA)
@@ -320,10 +351,21 @@ func (g Geometry) Total() int { return g.Banks * g.Slots }
 func (g Geometry) RegionSize() int { return g.Total() * g.FrameSize }
 
 // SlotFor maps a 1-based sequence number to (bank, slot, frame offset).
+// Power-of-two geometries (the common configuration) take the mask path
+// — SlotFor sits on the per-message send path, where the three integer
+// divisions are measurable.
 func (g Geometry) SlotFor(seq uint32) (bank, slot int, off uint64) {
-	idx := int(seq-1) % g.Total()
-	bank = idx / g.Slots
-	slot = idx % g.Slots
+	total := g.Banks * g.Slots
+	idx := int(seq - 1)
+	if total&(total-1) == 0 && g.Slots&(g.Slots-1) == 0 {
+		idx &= total - 1
+		slot = idx & (g.Slots - 1)
+		bank = idx >> uint(bits.TrailingZeros(uint(g.Slots)))
+	} else {
+		idx %= total
+		bank = idx / g.Slots
+		slot = idx % g.Slots
+	}
 	off = uint64(idx * g.FrameSize)
 	return bank, slot, off
 }

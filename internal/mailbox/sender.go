@@ -2,7 +2,6 @@ package mailbox
 
 import (
 	"encoding/binary"
-	"sync"
 
 	"twochains/internal/cpusim"
 	"twochains/internal/fabric"
@@ -62,7 +61,20 @@ type Sender struct {
 	eng     *sim.Engine
 	staging uint64
 	seq     uint32
-	stalled []queuedSend
+	// Per-staging-slot pack cache: the jam image last packed into each
+	// slot (by backing-array identity — prepared images are written once
+	// and the held reference pins them, so identity implies identical
+	// bytes) and the bytes that pack dirtied. Steady-state re-sends of
+	// the same bound jam then skip the image copy and the tail clear.
+	slotJam     [][]byte
+	slotWritten []int
+	// Private freelists for the steady-state send path. Mint and recycle
+	// both happen on this sender's shard (message release at pack time,
+	// completion fire at the issuer-local delivery event), so plain
+	// slices replace sync.Pool pin/unpin on the per-call path.
+	msgFree  []*Message
+	compFree []*completion
+	stalled  []queuedSend
 	// drainBuf is the spare stall queue drain ping-pongs with, so retrying
 	// stalled sends reuses two stable buffers instead of reallocating.
 	drainBuf []queuedSend
@@ -81,29 +93,29 @@ type queuedSend struct {
 // carry a prebound callback, so neither single sends nor batched runs
 // allocate per message.
 type completion struct {
-	seq0 uint32
-	n    int
-	done func(SendInfo)
-	cb   func(error, sim.Time) // prebound fire method, reused across pool generations
+	owner *Sender
+	seq0  uint32
+	n     int
+	done  func(SendInfo)
+	cb    func(error, sim.Time) // prebound fire method, reused across recycles
 }
-
-var completionPool sync.Pool
-
-func newCompletion() any {
-	c := &completion{}
-	c.cb = c.fire
-	return c
-}
-
-func init() { completionPool.New = newCompletion }
 
 // getCompletion returns nil when done is nil — the fabric accepts a nil
 // callback, and a no-observer put needs no completion record at all.
-func getCompletion(seq0 uint32, n int, done func(SendInfo)) *completion {
+// Records live on the sender's freelist: fire runs at the issuer-local
+// completion event, on the same shard that minted the record.
+func (s *Sender) getCompletion(seq0 uint32, n int, done func(SendInfo)) *completion {
 	if done == nil {
 		return nil
 	}
-	c := completionPool.Get().(*completion)
+	var c *completion
+	if k := len(s.compFree); k > 0 {
+		c = s.compFree[k-1]
+		s.compFree = s.compFree[:k-1]
+	} else {
+		c = &completion{owner: s}
+		c.cb = c.fire
+	}
 	c.seq0, c.n, c.done = seq0, n, done
 	return c
 }
@@ -111,7 +123,7 @@ func getCompletion(seq0 uint32, n int, done func(SendInfo)) *completion {
 func (c *completion) fire(err error, t sim.Time) {
 	seq0, n, done := c.seq0, c.n, c.done
 	c.done = nil
-	completionPool.Put(c)
+	c.owner.compFree = append(c.owner.compFree, c)
 	for i := 0; i < n; i++ {
 		done(SendInfo{Seq: seq0 + uint32(i), Err: err, Delivered: t})
 	}
@@ -136,15 +148,20 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 		return nil, err
 	}
 	s := &Sender{
-		Cfg:        cfg,
-		Worker:     w,
-		Ep:         ep,
-		Counter:    counter,
-		RemoteBase: remoteBase,
-		RemoteKey:  remoteKey,
-		eng:        w.Eng,
-		staging:    staging,
-		seq:        1,
+		Cfg:         cfg,
+		Worker:      w,
+		Ep:          ep,
+		Counter:     counter,
+		RemoteBase:  remoteBase,
+		RemoteKey:   remoteKey,
+		eng:         w.Eng,
+		staging:     staging,
+		seq:         1,
+		slotJam:     make([][]byte, cfg.Geometry.Total()),
+		slotWritten: make([]int, cfg.Geometry.Total()),
+	}
+	for i := range s.slotWritten {
+		s.slotWritten[i] = cfg.Geometry.FrameSize
 	}
 	if cfg.Credits {
 		va, err := w.AS.Alloc("mailbox-credits", cfg.Geometry.Banks*8, 8, mem.PermRW)
@@ -170,11 +187,51 @@ func NewSender(w *ucx.Worker, ep *ucx.Endpoint, cfg SenderConfig, remoteBase uin
 	return s, nil
 }
 
+// GetMessage returns a zeroed Message from the sender's private
+// freelist, falling back to a fresh allocation. Ownership transfers
+// back at Send/SendBatch exactly as with the package-level GetMessage;
+// the freelist is sound because the send path — mint, pack, release —
+// runs entirely on this sender's shard.
+func (s *Sender) GetMessage() *Message {
+	if n := len(s.msgFree); n > 0 {
+		m := s.msgFree[n-1]
+		s.msgFree[n-1] = nil
+		s.msgFree = s.msgFree[:n-1]
+		return m
+	}
+	return &Message{owner: s}
+}
+
 // Stats returns a copy of the counters.
 func (s *Sender) Stats() SenderStats { return s.stats }
 
 // NextSeq returns the sequence number the next Send will use.
 func (s *Sender) NextSeq() uint32 { return s.seq }
+
+// packStaging packs msg into the staging slot buf (slot index idx),
+// skipping work the slot's previous occupant already did: an identical
+// jam image is already in place, and bytes past the previous pack's
+// high-water mark are already zero. Cache state only advances when the
+// pack succeeds.
+func (s *Sender) packStaging(msg *Message, buf []byte, idx int, seq uint32, dstVA uint64) error {
+	frameSize := s.Cfg.Geometry.FrameSize
+	written := HeaderSize + ArgsSize + len(msg.Usr)
+	haveJam := false
+	var jam []byte
+	if msg.Kind == KindInjected {
+		written += PreSize + len(msg.JamImage)
+		jam = msg.JamImage
+		prev := s.slotJam[idx]
+		haveJam = len(jam) > 0 && len(prev) == len(jam) && &prev[0] == &jam[0]
+	}
+	clearTo := s.slotWritten[idx]
+	if err := msg.packInto(buf, frameSize, seq, dstVA, clearTo, haveJam); err != nil {
+		return err
+	}
+	s.slotWritten[idx] = written
+	s.slotJam[idx] = jam
+	return nil
+}
 
 // Send packs and transmits msg to the next mailbox slot. If the target
 // bank's credit is not available the send queues until the receiver
@@ -229,7 +286,7 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 		s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 		return
 	}
-	if err := msg.Pack(buf, frameSize, seq, dstVA); err != nil {
+	if err := s.packStaging(msg, buf, bank*g.Slots+slot, seq, dstVA); err != nil {
 		s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 		return
 	}
@@ -247,7 +304,7 @@ func (s *Sender) trySend(msg *Message, done func(SendInfo)) {
 	// The frame bytes now live in staging: a pooled message is done.
 	msg.release()
 
-	report := getCompletion(seq, 1, done)
+	report := s.getCompletion(seq, 1, done)
 	if s.Cfg.SeparateSignal {
 		// Body first (without trailer), fence, then the signal put: the
 		// protocol for fabrics with no write-order guarantee.
@@ -301,7 +358,7 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 		src, dst := s.staging+runStart, s.RemoteBase+runStart
 		n := runBytes
 		runBytes = 0
-		s.Ep.PutThin(src, dst, n, s.RemoteKey, getCompletion(runSeq0, frames, done).putCB())
+		s.Ep.PutThin(src, dst, n, s.RemoteKey, s.getCompletion(runSeq0, frames, done).putCB())
 	}
 
 	for i, msg := range msgs {
@@ -346,7 +403,7 @@ func (s *Sender) SendBatch(msgs []*Message, done func(SendInfo)) {
 			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			continue
 		}
-		if err := msg.Pack(buf, frameSize, seq, s.RemoteBase+off); err != nil {
+		if err := s.packStaging(msg, buf, bank*g.Slots+slot, seq, s.RemoteBase+off); err != nil {
 			s.finish(msg, done, SendInfo{Seq: seq, Err: err})
 			continue
 		}

@@ -354,8 +354,76 @@ func (as *AddressSpace) ReadBytesDMA(va uint64, size int) ([]byte, error) {
 }
 
 // Typed accessors. All are little-endian, matching the JAM encoding.
+//
+// Each has a fast path for the overwhelmingly common access: inside the
+// mapped prefix, not straddling a page, page permission granted. The
+// conditions imply exactly what check()+ensure() would established, so
+// results are bit-identical; anything else (unmapped tail growth, page
+// straddles, faults) takes the original path.
+
+// fastIdx returns the data index for a size-byte access at va when the
+// whole access stays within one page of the already-mapped prefix and
+// the page grants want; ok=false falls back to the checked slow path.
+func (as *AddressSpace) fastIdx(va uint64, size int, want Perm) (int, bool) {
+	i := va - Base
+	if va < Base || i+uint64(size) > uint64(len(as.data)) {
+		return 0, false
+	}
+	if i&(PageSize-1) > PageSize-uint64(size) {
+		return 0, false // straddles a page boundary
+	}
+	if as.perms[i/PageSize]&want == 0 {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// FastRead64 is the single-shot inlinable variant of ReadU64's fast
+// path for hot interpreter/JIT loops: ok=false means the caller must
+// take ReadU64 (checked) to get the value or the exact fault. The
+// guards mirror fastIdx(va, 8, PermR) verbatim.
+func (as *AddressSpace) FastRead64(va uint64) (uint64, bool) {
+	i := va - Base
+	if va < Base || i+8 > uint64(len(as.data)) ||
+		i&(PageSize-1) > PageSize-8 || as.perms[i/PageSize]&PermR == 0 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(as.data[i:]), true
+}
+
+// FastSpan returns a direct window over [va, va+n) when the whole span
+// lies in one page of the mapped prefix with want granted — the bulk
+// form of FastRead64/FastWrite64 for register-save/restore sequences.
+// nil means the caller must fall back to per-word checked accesses.
+func (as *AddressSpace) FastSpan(va uint64, n int, want Perm) []byte {
+	i := va - Base
+	if va < Base || i+uint64(n) > uint64(len(as.data)) ||
+		i&(PageSize-1) > PageSize-uint64(n) || as.perms[i/PageSize]&want == 0 {
+		return nil
+	}
+	return as.data[i : i+uint64(n)]
+}
+
+// FastWrite64 is the store-side twin of FastRead64; ok=false means the
+// caller must take WriteU64 for the checked outcome.
+func (as *AddressSpace) FastWrite64(va uint64, v uint64) bool {
+	i := va - Base
+	if va < Base || i+8 > uint64(len(as.data)) ||
+		i&(PageSize-1) > PageSize-8 || as.perms[i/PageSize]&PermW == 0 {
+		return false
+	}
+	binary.LittleEndian.PutUint64(as.data[i:], v)
+	return true
+}
 
 func (as *AddressSpace) ReadU8(va uint64) (uint64, error) {
+	if i, ok := as.fastIdx(va, 1, PermR); ok {
+		return uint64(as.data[i]), nil
+	}
+	return as.readU8Slow(va)
+}
+
+func (as *AddressSpace) readU8Slow(va uint64) (uint64, error) {
 	if err := as.check(va, 1, AccessRead); err != nil {
 		return 0, err
 	}
@@ -367,6 +435,13 @@ func (as *AddressSpace) ReadU8(va uint64) (uint64, error) {
 }
 
 func (as *AddressSpace) ReadU16(va uint64) (uint64, error) {
+	if i, ok := as.fastIdx(va, 2, PermR); ok {
+		return uint64(binary.LittleEndian.Uint16(as.data[i:])), nil
+	}
+	return as.readU16Slow(va)
+}
+
+func (as *AddressSpace) readU16Slow(va uint64) (uint64, error) {
 	if err := as.check(va, 2, AccessRead); err != nil {
 		return 0, err
 	}
@@ -378,6 +453,13 @@ func (as *AddressSpace) ReadU16(va uint64) (uint64, error) {
 }
 
 func (as *AddressSpace) ReadU32(va uint64) (uint64, error) {
+	if i, ok := as.fastIdx(va, 4, PermR); ok {
+		return uint64(binary.LittleEndian.Uint32(as.data[i:])), nil
+	}
+	return as.readU32Slow(va)
+}
+
+func (as *AddressSpace) readU32Slow(va uint64) (uint64, error) {
 	if err := as.check(va, 4, AccessRead); err != nil {
 		return 0, err
 	}
@@ -389,6 +471,13 @@ func (as *AddressSpace) ReadU32(va uint64) (uint64, error) {
 }
 
 func (as *AddressSpace) ReadU64(va uint64) (uint64, error) {
+	if i, ok := as.fastIdx(va, 8, PermR); ok {
+		return binary.LittleEndian.Uint64(as.data[i:]), nil
+	}
+	return as.readU64Slow(va)
+}
+
+func (as *AddressSpace) readU64Slow(va uint64) (uint64, error) {
 	if err := as.check(va, 8, AccessRead); err != nil {
 		return 0, err
 	}
@@ -400,6 +489,14 @@ func (as *AddressSpace) ReadU64(va uint64) (uint64, error) {
 }
 
 func (as *AddressSpace) WriteU8(va uint64, v uint64) error {
+	if i, ok := as.fastIdx(va, 1, PermW); ok {
+		as.data[i] = byte(v)
+		return nil
+	}
+	return as.writeU8Slow(va, v)
+}
+
+func (as *AddressSpace) writeU8Slow(va uint64, v uint64) error {
 	if err := as.check(va, 1, AccessWrite); err != nil {
 		return err
 	}
@@ -412,6 +509,14 @@ func (as *AddressSpace) WriteU8(va uint64, v uint64) error {
 }
 
 func (as *AddressSpace) WriteU16(va uint64, v uint64) error {
+	if i, ok := as.fastIdx(va, 2, PermW); ok {
+		binary.LittleEndian.PutUint16(as.data[i:], uint16(v))
+		return nil
+	}
+	return as.writeU16Slow(va, v)
+}
+
+func (as *AddressSpace) writeU16Slow(va uint64, v uint64) error {
 	if err := as.check(va, 2, AccessWrite); err != nil {
 		return err
 	}
@@ -424,6 +529,14 @@ func (as *AddressSpace) WriteU16(va uint64, v uint64) error {
 }
 
 func (as *AddressSpace) WriteU32(va uint64, v uint64) error {
+	if i, ok := as.fastIdx(va, 4, PermW); ok {
+		binary.LittleEndian.PutUint32(as.data[i:], uint32(v))
+		return nil
+	}
+	return as.writeU32Slow(va, v)
+}
+
+func (as *AddressSpace) writeU32Slow(va uint64, v uint64) error {
 	if err := as.check(va, 4, AccessWrite); err != nil {
 		return err
 	}
@@ -436,6 +549,14 @@ func (as *AddressSpace) WriteU32(va uint64, v uint64) error {
 }
 
 func (as *AddressSpace) WriteU64(va uint64, v uint64) error {
+	if i, ok := as.fastIdx(va, 8, PermW); ok {
+		binary.LittleEndian.PutUint64(as.data[i:], v)
+		return nil
+	}
+	return as.writeU64Slow(va, v)
+}
+
+func (as *AddressSpace) writeU64Slow(va uint64, v uint64) error {
 	if err := as.check(va, 8, AccessWrite); err != nil {
 		return err
 	}

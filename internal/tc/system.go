@@ -78,6 +78,14 @@ func WithTiming(on bool) SystemOpt {
 	return func(c *core.MeshConfig) { c.Node.Timing = on }
 }
 
+// WithInterpreter forces every node's VM through the reference
+// interpret loop instead of the compiled translations — the A/B switch
+// of the JIT equivalence sweep. Results, costs, and digests must be
+// bit-identical either way; only wall-clock speed differs.
+func WithInterpreter() SystemOpt {
+	return func(c *core.MeshConfig) { c.Node.Interpreter = true }
+}
+
 // WithOrdered selects the fabric write-order guarantee.
 func WithOrdered(on bool) SystemOpt {
 	return func(c *core.MeshConfig) { c.Cluster.Ordered = on }

@@ -20,7 +20,6 @@ package ucx
 
 import (
 	"fmt"
-	"sync"
 
 	"twochains/internal/fabric"
 	"twochains/internal/mem"
@@ -102,6 +101,8 @@ type Endpoint struct {
 	inflight  int
 	backlog   []func()
 	completed uint64
+	// thinFree recycles thinOp records; shard-local (see thinOp).
+	thinFree []*thinOp
 }
 
 // Connect creates an endpoint to peer.
@@ -167,10 +168,14 @@ func (ep *Endpoint) release() {
 	}
 }
 
-// thinOp is the pooled issue record of one thin put between post and NIC
-// hand-off. Its prebound fire/complete methods replace the two closures
-// the path used to allocate per message.
+// thinOp is the recycled issue record of one thin put between post and
+// NIC hand-off. Its prebound fire/complete methods replace the two
+// closures the path used to allocate per message. Records live on the
+// owning endpoint's freelist: Put completions fire on the issuing
+// shard (shard-local jobs and cross-shard done events alike), so mint
+// and recycle never cross a shard boundary.
 type thinOp struct {
+	owner       *Endpoint
 	ep          *Endpoint
 	srcVA       uint64
 	dstVA       uint64
@@ -181,15 +186,17 @@ type thinOp struct {
 	cb          func(fabric.PutResult) // prebound: recycle, then report delivery
 }
 
-var thinOpPool sync.Pool
-
-func init() {
-	thinOpPool.New = func() any {
-		op := &thinOp{}
-		op.fire = op.doFire
-		op.cb = op.complete
+func (ep *Endpoint) getThinOp() *thinOp {
+	if n := len(ep.thinFree); n > 0 {
+		op := ep.thinFree[n-1]
+		ep.thinFree[n-1] = nil
+		ep.thinFree = ep.thinFree[:n-1]
 		return op
 	}
+	op := &thinOp{owner: ep}
+	op.fire = op.doFire
+	op.cb = op.complete
+	return op
 }
 
 func (op *thinOp) doFire() {
@@ -199,7 +206,7 @@ func (op *thinOp) doFire() {
 func (op *thinOp) complete(res fabric.PutResult) {
 	onDelivered := op.onDelivered
 	op.ep, op.onDelivered = nil, nil
-	thinOpPool.Put(op)
+	op.owner.thinFree = append(op.owner.thinFree, op)
 	if onDelivered != nil {
 		onDelivered(res.Err, res.Delivered)
 	}
@@ -218,7 +225,7 @@ func (ep *Endpoint) PutThin(srcVA, dstVA uint64, size int, key fabric.RKey, onDe
 	tier := model.TierFor(size)
 	swCost := model.AmPackOverhead + model.AmPostOverhead + tier.Overhead + model.DoorbellLat
 	postDone := ep.Local.CPU.Claim(eng.Now(), swCost)
-	op := thinOpPool.Get().(*thinOp)
+	op := ep.getThinOp()
 	op.ep, op.srcVA, op.dstVA, op.size, op.key, op.onDelivered = ep, srcVA, dstVA, size, key, onDelivered
 	if tier.Name == "rndv" {
 		// Handshake delay; not serialized through any resource, so

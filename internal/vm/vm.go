@@ -7,6 +7,17 @@
 // both the module-GOT form (CALLG/LDG, normal loaded libraries) and the
 // message-GOT form (CALLP/LDP, injected jams), and calls can cross between
 // injected code, library code, and native "C library" functions.
+//
+// Execution has two engines. The interpret loop below (CallInterp) is the
+// reference implementation — the oracle. The template JIT in jit.go
+// compiles each mapped region once, at bind time, into native Go step
+// closures and dispatches them on the steady-state Call path. The
+// contract is bit-exact equivalence: for every program and machine state
+// the compiled path must produce the same results, register file, memory
+// effects, Fault values, instruction counts, and simulated costs as the
+// interpreter, which stays authoritative for any behaviour question.
+// Edge cases the compiler does not model (misaligned dynamic jump
+// targets) deopt mid-call into the interpreter rather than approximate.
 package vm
 
 import (
@@ -40,6 +51,12 @@ type Region struct {
 	// by convention Start-8, "just before the code" (paper Fig. 2).
 	GpSlotVA uint64
 	instrs   []isa.Instr
+	// prog is the compiled translation (see jit.go). It lives and dies
+	// with the region, so EnsureJam's byte-compare eviction invalidates
+	// it exactly like the decode cache.
+	prog *program
+	// jam marks regions that arrived through EnsureJam.
+	jam bool
 }
 
 // NativeFunc is a host-implemented library function ("existing C library"
@@ -79,6 +96,10 @@ type VM struct {
 	CheckExec bool
 	// InstrBudget bounds instructions per Call.
 	InstrBudget uint64
+	// UseInterpreter forces every Call through the reference interpreter
+	// instead of the compiled translations — the A/B switch the
+	// equivalence sweep and tc.WithInterpreter() flip.
+	UseInterpreter bool
 
 	regions    []*Region
 	natives    []NativeFunc
@@ -103,9 +124,17 @@ type VM struct {
 	env      Env
 	callCost sim.Duration
 
+	// mach is the reusable compiled-path machine state (one Call at a
+	// time, like env).
+	mach jitMachine
+
 	// Cumulative counters across calls.
 	TotalInstrs uint64
 	TotalCost   sim.Duration
+	// JITCompiles counts region translations built; JITDeopts counts
+	// mid-call handoffs to the interpreter.
+	JITCompiles uint64
+	JITDeopts   uint64
 }
 
 // jamEntry pairs a cached decode with the exact bytes it was made from.
@@ -170,6 +199,10 @@ func (vm *VM) AddRegion(start uint64, code []byte, gotVA uint64) (*Region, error
 		GpSlotVA: start - 8,
 		instrs:   instrs,
 	}
+	// Bind-time compilation: every mapped region gets its translation
+	// here, so the steady-state dispatch never compiles. The dispatcher
+	// recompiles only if the VM's timing/exec flags change afterwards.
+	r.prog = vm.compileRegion(r)
 	vm.regions = append(vm.regions, r)
 	return r, nil
 }
@@ -211,6 +244,7 @@ func (vm *VM) EnsureJam(start uint64, code []byte) (*Region, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.jam = true
 	if e == nil {
 		e = &jamEntry{}
 		vm.jams[start] = e
@@ -258,10 +292,33 @@ func (f *Fault) Error() string {
 func (f *Fault) Unwrap() error { return f.Err }
 
 // Call executes the function at entry with up to six arguments, returning
-// r0 and the simulated cost of the invocation.
+// r0 and the simulated cost of the invocation. It dispatches the compiled
+// fast path unless UseInterpreter pins the reference interpreter.
 func (vm *VM) Call(entry uint64, args ...uint64) (uint64, sim.Duration, error) {
+	if err := vm.setupCall(args); err != nil {
+		return 0, 0, err
+	}
+	if vm.UseInterpreter {
+		st := intState{pc: entry, lastFetchLine: 1}
+		return vm.interpret(&st)
+	}
+	return vm.callCompiled(entry, args)
+}
+
+// CallInterp executes through the reference interpreter regardless of
+// the VM's dispatch setting — the oracle side of equivalence tests.
+func (vm *VM) CallInterp(entry uint64, args ...uint64) (uint64, sim.Duration, error) {
+	if err := vm.setupCall(args); err != nil {
+		return 0, 0, err
+	}
+	st := intState{pc: entry, lastFetchLine: 1}
+	return vm.interpret(&st)
+}
+
+// setupCall resets the register file for a fresh invocation.
+func (vm *VM) setupCall(args []uint64) error {
 	if len(args) > 6 {
-		return 0, 0, fmt.Errorf("vm: too many arguments (%d > 6)", len(args))
+		return fmt.Errorf("vm: too many arguments (%d > 6)", len(args))
 	}
 	for i := range vm.regs {
 		vm.regs[i] = 0
@@ -269,22 +326,40 @@ func (vm *VM) Call(entry uint64, args ...uint64) (uint64, sim.Duration, error) {
 	copy(vm.regs[:], args)
 	vm.regs[isa.RegSP] = vm.stackVA + uint64(vm.stackSize)
 	vm.regs[isa.RegLR] = retMagic
+	return nil
+}
 
-	var cost sim.Duration
-	var instrs uint64
+// intState is the interpreter's resumable machine state. A fresh Call
+// starts from {pc: entry, lastFetchLine: 1}; the compiled path hands over
+// a mid-call snapshot when it deopts.
+type intState struct {
+	pc            uint64
+	cost          sim.Duration
+	instrs        uint64
+	region        *Region
+	lastFetchLine uint64
+	hotLines      [8]uint64
+	hotIdx        int
+}
+
+// interpret runs the reference interpret loop from st until return or
+// fault. Registers live in vm.regs (already set up or mid-call).
+func (vm *VM) interpret(st *intState) (uint64, sim.Duration, error) {
+	cost := st.cost
+	instrs := st.instrs
 	// The per-VM Env escapes into natives; cost stays in a register-friendly
 	// local and syncs with the Env's cost slot around each native call.
 	env := &vm.env
 	env.Stdout = vm.Stdout
 
-	pc := entry
-	var region *Region
-	lastFetchLine := uint64(1) // impossible line value forces first fetch
+	pc := st.pc
+	region := st.region
+	lastFetchLine := st.lastFetchLine // 1 is an impossible line value forcing first fetch
 	// hotLines is a tiny L1I/loop-buffer model: lines fetched recently are
 	// re-entered for free, so a loop body straddling a line boundary does
 	// not pay the cache load-to-use latency on every iteration.
-	var hotLines [8]uint64
-	hotIdx := 0
+	hotLines := st.hotLines
+	hotIdx := st.hotIdx
 
 	fail := func(err error) (uint64, sim.Duration, error) {
 		instrCost := model.Cycles(float64(instrs) * model.VMCyclesPerInstr)

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"twochains/internal/core"
+	"twochains/internal/tcapp"
+)
+
+// runPair executes the same scenario twice — compiled dispatch and
+// forced interpreter — and fails unless every observable is
+// bit-identical: fabric digest, simulated finish time, injection count,
+// and the per-node digest/error breakdown. The interpret loop is the
+// reference implementation, so any divergence is a JIT bug by
+// definition.
+func runPair(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	sc.Interpreter = false
+	jit, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Interpreter = true
+	ref, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.Digest != ref.Digest {
+		t.Errorf("digest: compiled %#x, interpreter %#x", jit.Digest, ref.Digest)
+	}
+	if jit.SimTime != ref.SimTime {
+		t.Errorf("simulated time: compiled %d, interpreter %d",
+			int64(jit.SimTime), int64(ref.SimTime))
+	}
+	if jit.Injections != ref.Injections {
+		t.Errorf("injections: compiled %d, interpreter %d", jit.Injections, ref.Injections)
+	}
+	for i := range jit.PerNode {
+		j, r := jit.PerNode[i], ref.PerNode[i]
+		if j != r {
+			t.Errorf("node %d: compiled %+v, interpreter %+v", i, j, r)
+		}
+	}
+	return jit
+}
+
+// jamMixFor builds a mix naming every injectable (jam) element of a
+// registered app, so the sweep exercises the whole registry, not a
+// hand-picked subset.
+func jamMixFor(t *testing.T, app string) []ElementMix {
+	t.Helper()
+	pkg, err := tcapp.Build(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mix []ElementMix
+	for _, e := range pkg.Elements {
+		if e.Kind == core.ElemJam {
+			mix = append(mix, ElementMix{Pkg: app, Elem: e.Name, Weight: 1})
+		}
+	}
+	if len(mix) == 0 {
+		t.Fatalf("app %s has no jam elements", app)
+	}
+	return mix
+}
+
+// TestJITEquivalenceSweep replays every tcapp-registered element
+// compiled-vs-interpreted across seeds, worker counts, and fabric
+// backends. Timing stays on so the comparison covers simulated costs,
+// not just return values.
+func TestJITEquivalenceSweep(t *testing.T) {
+	dims := []struct {
+		seed    uint64
+		workers int
+		backend string
+	}{
+		{0x7c2c2021, 1, ""},
+		{0x7c2c2021, 4, ""},
+		{0x7c2c2021, 1, "ideal"},
+		{0x51edba5e, 1, ""},
+		{0x51edba5e, 4, "ideal"},
+	}
+	for _, app := range tcapp.Names() {
+		mix := jamMixFor(t, app)
+		for _, d := range dims {
+			d := d
+			name := fmt.Sprintf("%s/seed=%x/workers=%d/backend=%s",
+				app, d.seed, d.workers, orDefault(d.backend))
+			t.Run(name, func(t *testing.T) {
+				sc := DefaultScenario(AllToAll, 4)
+				sc.Burst = 3
+				sc.Rounds = 2
+				sc.Seed = d.seed
+				sc.Workers = d.workers
+				sc.Backend = d.backend
+				sc.Mix = mix
+				res := runPair(t, sc)
+				if res.Injections == 0 {
+					t.Fatal("sweep ran nothing")
+				}
+			})
+		}
+	}
+}
+
+func orDefault(backend string) string {
+	if backend == "" {
+		return "simnet"
+	}
+	return backend
+}
+
+// TestJITHotSwapUnderLoad pins translation invalidation: the hotspot
+// pattern's built-in mid-phase RIED hot-swap replaces code while
+// traffic is in flight, so stale compiled translations would either
+// execute dead code or fault. Digests must stay bit-identical with the
+// JIT on and off, sequential and parallel.
+func TestJITHotSwapUnderLoad(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sc := DefaultScenario(Hotspot, 6)
+			sc.Burst = 6
+			sc.Rounds = 3
+			sc.Workers = workers
+			res := runPair(t, sc)
+			if !res.Swapped {
+				t.Fatal("hotspot swap did not fire — the test exercised nothing")
+			}
+		})
+	}
+}

@@ -230,6 +230,11 @@ type Scenario struct {
 	// Timing enables the cache/CPU cost model (required for meaningful
 	// rates; functional tests turn it off for speed).
 	Timing bool
+	// Interpreter forces every node's VM through the reference interpret
+	// loop instead of the compiled jam translations. Results and digests
+	// must be bit-identical either way — the JIT equivalence sweep runs
+	// each scenario under both settings and compares.
+	Interpreter bool
 	// HotSkew is the probability a hotspot burst targets the hot node
 	// (0 = default 0.8). Ignored by other patterns.
 	HotSkew float64
@@ -861,6 +866,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if sc.Shards > 0 {
 		opts = append(opts, tc.WithShards(sc.Shards))
+	}
+	if sc.Interpreter {
+		opts = append(opts, tc.WithInterpreter())
 	}
 	if sc.Chaos != nil {
 		opts = append(opts, tc.WithChaos(fabric.ChaosConfig{
